@@ -1,0 +1,203 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  The rendered
+artefact is printed to stdout *and* written to ``benchmarks/output/`` so
+the reproduction record survives pytest's output capturing; pytest-
+benchmark's own table covers the timing columns.
+
+Dataset construction is cached per session: several tables reuse the
+same synthetic dataset, and regeneration is deterministic anyway.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 0.35) scales every synthetic
+dataset.  The paper's datasets are orders of magnitude larger; see
+DESIGN.md section 3 for why ratios/orderings — not absolute seconds —
+are the comparison target.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+import time
+from typing import Callable, Tuple
+
+#: Scale factor applied to every dataset builder.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artefact and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``fn`` once, returning ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# cached dataset builders (deterministic, shared across bench modules)
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def dblp_dataset():
+    from repro.datasets.synthetic_dblp import coauthor_snapshots
+
+    return coauthor_snapshots(
+        n_authors=max(120, int(800 * SCALE)),
+        n_communities=max(8, int(40 * SCALE)),
+        seed=0,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def dblp_difference_graphs():
+    """The four DBLP difference graphs keyed as (setting, gd_type)."""
+    from repro.core.difference import (
+        DBLP_DISCRETE,
+        difference_graph,
+        discrete_difference_graph,
+        flip,
+    )
+
+    dataset = dblp_dataset()
+    weighted = difference_graph(dataset.g1, dataset.g2)
+    discrete = discrete_difference_graph(dataset.g1, dataset.g2, DBLP_DISCRETE)
+    return {
+        ("Weighted", "Emerging"): weighted,
+        ("Weighted", "Disappearing"): flip(weighted),
+        ("Discrete", "Emerging"): discrete,
+        ("Discrete", "Disappearing"): flip(discrete),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def dm_corpus():
+    from repro.datasets.synthetic_text import keyword_corpus
+
+    return keyword_corpus(
+        n_titles_per_era=max(400, int(3000 * SCALE)),
+        n_background_words=max(60, int(300 * SCALE)),
+        seed=1,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def dm_difference_graphs():
+    from repro.core.difference import difference_graph, flip
+
+    corpus = dm_corpus()
+    emerging = difference_graph(corpus.g1, corpus.g2)
+    return {"Emerging": emerging, "Disappearing": flip(emerging)}
+
+
+@functools.lru_cache(maxsize=None)
+def wiki_dataset():
+    from repro.datasets.synthetic_wiki import wiki_interactions
+
+    return wiki_interactions(
+        n_editors=max(200, int(1500 * SCALE)),
+        blob_size=max(30, int(180 * SCALE)),
+        seed=2,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def wiki_difference_graphs():
+    dataset = wiki_dataset()
+    return {
+        "Consistent": dataset.consistent_gd(),
+        "Conflicting": dataset.conflicting_gd(),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def douban_dataset():
+    from repro.datasets.synthetic_douban import douban_network
+
+    return douban_network(
+        n_users=max(150, int(900 * SCALE)),
+        n_communities=max(6, int(30 * SCALE)),
+        seed=3,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def douban_difference_graphs():
+    dataset = douban_dataset()
+    return {
+        ("Movie", "Interest-Social"): dataset.gd("movie", "interest-social"),
+        ("Movie", "Social-Interest"): dataset.gd("movie", "social-interest"),
+        ("Book", "Interest-Social"): dataset.gd("book", "interest-social"),
+        ("Book", "Social-Interest"): dataset.gd("book", "social-interest"),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def dblp_c_dataset():
+    from repro.datasets.synthetic_dblp import dblp_c_snapshots
+
+    return dblp_c_snapshots(
+        n_authors=max(400, int(4000 * SCALE)),
+        n_communities=max(20, int(160 * SCALE)),
+        seed=4,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def dblp_c_difference_graphs():
+    from repro.core.difference import (
+        DBLP_DISCRETE,
+        difference_graph,
+        discrete_difference_graph,
+    )
+
+    dataset = dblp_c_dataset()
+    return {
+        "Weighted": difference_graph(dataset.g1, dataset.g2),
+        "Discrete": discrete_difference_graph(
+            dataset.g1, dataset.g2, DBLP_DISCRETE
+        ),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def actor_dataset():
+    from repro.datasets.synthetic_actor import actor_network
+
+    return actor_network(n_actors=max(250, int(2000 * SCALE)), seed=5)
+
+
+@functools.lru_cache(maxsize=None)
+def actor_difference_graphs():
+    dataset = actor_dataset()
+    return {
+        "Weighted": dataset.weighted_gd(),
+        "Discrete": dataset.discrete_gd(),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def all_named_difference_graphs():
+    """(data, setting, gd_type) -> GD for every Table II row."""
+    rows = {}
+    for (setting, gd_type), gd in dblp_difference_graphs().items():
+        rows[("DBLP", setting, gd_type)] = gd
+    for gd_type, gd in dm_difference_graphs().items():
+        rows[("DM", "-", gd_type)] = gd
+    for gd_type, gd in wiki_difference_graphs().items():
+        rows[("Wiki", "-", gd_type)] = gd
+    for (data, gd_type), gd in douban_difference_graphs().items():
+        rows[(data, "-", gd_type)] = gd
+    for setting, gd in dblp_c_difference_graphs().items():
+        rows[("DBLP-C", setting, "-")] = gd
+    for setting, gd in actor_difference_graphs().items():
+        rows[("Actor", setting, "-")] = gd
+    return rows

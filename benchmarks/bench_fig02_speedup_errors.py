@@ -1,0 +1,87 @@
+"""Fig. 2 — SEACD+Refine speed-up over SEA+Refine and SEA error rate.
+
+The paper plots, per dataset, (a) the speed-up of SEACD+Refine over
+SEA+Refine and (b) the SEA expansion-error rate (#errors / n), both
+against the positive-edge density ``m+/n`` of the difference graph.
+This bench regenerates both series over the full dataset collection plus
+a controlled density sweep of synthetic difference graphs.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import all_named_difference_graphs, emit, timed
+from repro.affinity.sea import sea_refine_solver
+from repro.analysis.reporting import Series
+from repro.core.newsea import solve_all_initializations
+from repro.graph.generators import random_signed_graph
+
+
+def _measure(gd_plus):
+    cd, t_cd = timed(solve_all_initializations, gd_plus)
+    sea, t_sea = timed(
+        solve_all_initializations,
+        gd_plus,
+        solver=sea_refine_solver(shrink_tol=1e-6),
+    )
+    n = gd_plus.num_vertices
+    return {
+        "density": gd_plus.num_edges / n,
+        "speedup": t_sea / t_cd if t_cd > 0 else float("inf"),
+        "error_rate": sea.expansion_errors / n,
+        "cd_errors": cd.expansion_errors,
+    }
+
+
+def _sweep():
+    points = []
+    # All the paper datasets...
+    for (data, setting, gd_type), gd in all_named_difference_graphs().items():
+        record = _measure(gd.positive_part())
+        record["label"] = f"{data}/{setting}/{gd_type}"
+        points.append(record)
+    # ...plus a controlled synthetic density sweep.
+    for p in (0.01, 0.03, 0.06, 0.12):
+        gd = random_signed_graph(
+            220, p, positive_fraction=0.7, seed=int(p * 1000)
+        )
+        record = _measure(gd.positive_part())
+        record["label"] = f"sweep/p={p}"
+        points.append(record)
+    return points
+
+
+def test_fig02_speedup_and_errors(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    speedup = Series(
+        title="Fig. 2a layout: speed-up of SEACD+Refine over SEA+Refine",
+        x_label="m+/n",
+        y_label="SpeedUp",
+    )
+    errors = Series(
+        title="Fig. 2b layout: SEA expansion error rate (#errors / n)",
+        x_label="m+/n",
+        y_label="ErrorRate",
+    )
+    for record in points:
+        speedup.add(record["density"], record["speedup"])
+        errors.add(record["density"], record["error_rate"])
+    emit(
+        "fig02_speedup_errors",
+        speedup.render() + "\n\n" + errors.render(),
+    )
+
+    # Shape assertions:
+    # SEACD never errs; SEA errs somewhere across the collection.
+    assert all(r["cd_errors"] == 0 for r in points)
+    assert any(r["error_rate"] > 0 for r in points)
+    # SEACD+Refine is faster than SEA+Refine essentially everywhere.
+    faster = sum(1 for r in points if r["speedup"] > 1.0)
+    assert faster >= len(points) - 2
+    # Speed-up grows with density: the mean speed-up of the densest
+    # third beats the sparsest third (the paper's Fig. 2a trend).
+    ranked = sorted(points, key=lambda r: r["density"])
+    third = len(ranked) // 3
+    sparse_mean = sum(r["speedup"] for r in ranked[:third]) / third
+    dense_mean = sum(r["speedup"] for r in ranked[-third:]) / third
+    assert dense_mean > sparse_mean

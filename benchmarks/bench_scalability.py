@@ -1,0 +1,73 @@
+"""Scalability — DCSAD/DCSGA cost vs input size.
+
+The paper claims DCSGreedy runs in ``O((m1 + m2 + n) log n)`` ("efficient
+and scalable in practice", Section VI-D) and argues NewSEA scales through
+the smart-initialisation prune.  This bench measures both on a geometric
+size sweep of the DBLP-style generator and asserts quasi-linear growth
+for DCSGreedy (cost ratio grows at most ~1.5x faster than input size).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import emit, timed
+from repro.analysis.reporting import Table
+from repro.core.dcsad import dcs_greedy
+from repro.core.difference import difference_graph
+from repro.core.newsea import new_sea
+from repro.datasets.synthetic_dblp import coauthor_snapshots
+
+SIZES = (200, 400, 800, 1600)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        dataset = coauthor_snapshots(
+            n_authors=n, n_communities=max(8, n // 20), seed=17
+        )
+        gd, t_build = timed(difference_graph, dataset.g1, dataset.g2)
+        ad, t_ad = timed(dcs_greedy, gd)
+        ga, t_ga = timed(new_sea, gd.positive_part())
+        rows.append(
+            {
+                "n": n,
+                "m": gd.num_edges,
+                "t_build": t_build,
+                "t_ad": t_ad,
+                "t_ga": t_ga,
+                "ad_value": ad.density,
+                "ga_value": ga.objective,
+            }
+        )
+    return rows
+
+
+def test_scalability(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        title="Scalability sweep (DBLP-style pairs)",
+        columns=["n", "m(GD)", "build (s)", "DCSGreedy (s)", "NewSEA (s)"],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["n"],
+                row["m"],
+                f"{row['t_build']:.4f}",
+                f"{row['t_ad']:.4f}",
+                f"{row['t_ga']:.4f}",
+            ]
+        )
+    emit("scalability", table.render())
+
+    # Quasi-linear growth check for DCSGreedy: when the input grows by
+    # factor g, time grows by at most ~g^1.5 (generous slack for noise on
+    # sub-100ms measurements).
+    first, last = rows[0], rows[-1]
+    growth = (last["n"] + last["m"]) / (first["n"] + first["m"])
+    time_growth = last["t_ad"] / max(first["t_ad"], 1e-4)
+    assert time_growth <= growth ** 1.5 * 3.0
+    # Everything completed with positive contrast found.
+    assert all(row["ad_value"] > 0 for row in rows)
+    assert all(row["ga_value"] > 0 for row in rows)

@@ -1,0 +1,87 @@
+"""Tables V & VI — emerging/disappearing data-mining topics.
+
+Table V: top-5 emerging and disappearing topics w.r.t. graph affinity,
+mined from the keyword difference graphs by SEACD+Refinement with
+all-vertex initialisation (the paper's multi-solution configuration).
+
+Table VI: top-5 topics in G1 and G2 *separately* — demonstrating the
+"time series trap" the introduction motivates DCS with.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import dm_corpus, dm_difference_graphs, emit
+from repro.analysis.reporting import Table, format_embedding
+from repro.core.newsea import solve_all_initializations
+
+
+def _mine_topics():
+    graphs = dm_difference_graphs()
+    corpus = dm_corpus()
+    out = {}
+    for gd_type, gd in graphs.items():
+        out[gd_type] = solve_all_initializations(gd.positive_part()).solutions[:5]
+    for era, graph in (("G1", corpus.g1), ("G2", corpus.g2)):
+        out[era] = solve_all_initializations(graph).solutions[:5]
+    return out
+
+
+def test_table05_06_topics(benchmark):
+    mined = benchmark.pedantic(_mine_topics, rounds=1, iterations=1)
+    corpus = dm_corpus()
+
+    table5 = Table(
+        title="Table V layout: top-5 emerging/disappearing topics (affinity)",
+        columns=["Rank", "Emerging", "Disappearing"],
+    )
+    for rank in range(5):
+        cells = [str(rank + 1)]
+        for gd_type in ("Emerging", "Disappearing"):
+            solutions = mined[gd_type]
+            if rank < len(solutions):
+                _, x, _ = solutions[rank]
+                cells.append(format_embedding(x.items(), max_entries=4))
+            else:
+                cells.append("-")
+        table5.add_row(cells)
+
+    table6 = Table(
+        title="Table VI layout: top-5 topics in each era's own graph",
+        columns=["Rank", "G1 (early era)", "G2 (recent era)"],
+    )
+    for rank in range(5):
+        cells = [str(rank + 1)]
+        for era in ("G1", "G2"):
+            solutions = mined[era]
+            if rank < len(solutions):
+                _, x, _ = solutions[rank]
+                cells.append(format_embedding(x.items(), max_entries=4))
+            else:
+                cells.append("-")
+        table6.add_row(cells)
+
+    emit("table05_06_topics", table5.render() + "\n\n" + table6.render())
+
+    # Shape assertions:
+    top_emerging = {
+        frozenset(support) for support, _, _ in mined["Emerging"]
+    }
+    assert any(
+        frozenset(t) in top_emerging for t in corpus.emerging_topics
+    ), "a planted emerging topic must appear in the top-5"
+    top_disappearing = {
+        frozenset(support) for support, _, _ in mined["Disappearing"]
+    }
+    assert any(
+        frozenset(t) in top_disappearing for t in corpus.disappearing_topics
+    )
+    # The trap: a stable topic ranks in the single-graph top-5 of both
+    # eras but in neither contrast top-5.
+    stable = [frozenset(t) for t in corpus.stable_topics]
+    g1_top = {frozenset(s) for s, _, _ in mined["G1"]}
+    g2_top = {frozenset(s) for s, _, _ in mined["G2"]}
+    trapped = [t for t in stable if t in g1_top and t in g2_top]
+    assert trapped, "some evergreen topic should top both single-graph lists"
+    for topic in trapped:
+        assert topic not in top_emerging
+        assert topic not in top_disappearing

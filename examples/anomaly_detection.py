@@ -1,0 +1,78 @@
+"""Detect an emerging anomaly against historical expectations.
+
+The paper's second motivating application (Section I): build one graph
+of *expected* connection strengths from history, observe the *current*
+strengths, and mine the DCS of (expected, observed).  Here: a road-
+sensor network where a planted cluster of sensors suddenly reports far
+more co-congestion than history predicts — an "emerging traffic hotspot
+clutter".
+
+Run with::
+
+    python examples/anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Graph, dcs_average_degree, dcs_graph_affinity
+from repro.graph.generators import gnp_graph
+
+
+def build_expected_network(n: int, seed: int) -> Graph:
+    """Historical co-congestion rates between nearby sensors."""
+    rng = random.Random(seed)
+    base = gnp_graph(n, 0.06, seed=seed, weight=lambda r: r.uniform(0.5, 3.0))
+    expected = Graph()
+    expected.add_vertices(f"sensor{i:03d}" for i in range(n))
+    for u, v, w in base.edges():
+        expected.add_edge(f"sensor{u:03d}", f"sensor{v:03d}", round(w, 2))
+    return expected
+
+
+def observe_with_anomaly(expected: Graph, hotspot_size: int, seed: int) -> Graph:
+    """Current observations: small noise everywhere, plus one hotspot
+    cluster whose pairwise co-congestion jumps well above expectation."""
+    rng = random.Random(seed)
+    observed = Graph()
+    observed.add_vertices(expected.vertices())
+    for u, v, w in expected.edges():
+        observed.add_edge(u, v, max(0.1, w + rng.uniform(-0.4, 0.4)))
+    hotspot = rng.sample(sorted(expected.vertices()), hotspot_size)
+    for i, u in enumerate(hotspot):
+        for v in hotspot[i + 1 :]:
+            observed.increment_edge(u, v, rng.uniform(3.0, 5.0))
+    return observed, set(hotspot)
+
+
+def main() -> None:
+    expected = build_expected_network(n=200, seed=21)
+    observed, hotspot = observe_with_anomaly(expected, hotspot_size=7, seed=22)
+    print(
+        f"network: {expected.num_vertices} sensors, "
+        f"{expected.num_edges} expected links; planted hotspot of "
+        f"{len(hotspot)} sensors\n"
+    )
+
+    ad = dcs_average_degree(expected, observed)
+    print("DCSAD (average degree):")
+    print(f"  flagged : {sorted(ad.subset)}")
+    print(f"  contrast: {ad.density:.2f} above expectation")
+
+    ga = dcs_graph_affinity(expected, observed)
+    print("\nDCSGA (graph affinity, positive-clique answer):")
+    print(f"  flagged : {sorted(ga.support)}")
+    print(f"  contrast: {ga.objective:.2f}")
+
+    for name, flagged in (("DCSAD", ad.subset), ("DCSGA", ga.support)):
+        precision = len(flagged & hotspot) / len(flagged)
+        recall = len(flagged & hotspot) / len(hotspot)
+        print(
+            f"\n{name} vs planted hotspot: "
+            f"precision {precision:.2f}, recall {recall:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Find emerging and disappearing co-author groups in a two-era network.
+
+Reproduces the Section VI-B workflow on the synthetic DBLP substitute:
+mine both difference-graph orientations under both density measures and
+report the paper's Table IV statistics for each answer, then check the
+answers against the planted ground truth.
+
+Run with::
+
+    python examples/emerging_communities.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import (
+    affinity,
+    average_degree,
+    edge_density,
+)
+from repro.analysis.reporting import Table, format_ratio, yes_no
+from repro.core.dcsad import dcs_greedy
+from repro.core.difference import (
+    DBLP_DISCRETE,
+    difference_graph,
+    discrete_difference_graph,
+    flip,
+)
+from repro.core.newsea import new_sea
+from repro.datasets.synthetic_dblp import coauthor_snapshots
+from repro.graph.cliques import is_positive_clique
+
+
+def main() -> None:
+    dataset = coauthor_snapshots(n_authors=600, n_communities=30, seed=3)
+    weighted = difference_graph(dataset.g1, dataset.g2)
+    discrete = discrete_difference_graph(dataset.g1, dataset.g2, DBLP_DISCRETE)
+
+    table = Table(
+        title="Co-author groups by setting / GD type / density measure",
+        columns=[
+            "Setting",
+            "GD Type",
+            "Density",
+            "#Authors",
+            "PosClique?",
+            "AvgDeg diff",
+            "Approx ratio",
+            "Affinity diff",
+            "EdgeDens diff",
+        ],
+    )
+
+    planted = {
+        "Emerging": dataset.emerging_groups,
+        "Disappearing": dataset.disappearing_groups,
+    }
+    recovered = {}
+    for setting, base in (("Weighted", weighted), ("Discrete", discrete)):
+        for gd_type in ("Emerging", "Disappearing"):
+            gd = base if gd_type == "Emerging" else flip(base)
+            ad = dcs_greedy(gd)
+            ga = new_sea(gd.positive_part())
+            for measure, subset, extra in (
+                ("Average Degree", ad.subset, format_ratio(ad.ratio_bound)),
+                ("Graph Affinity", ga.support, "-"),
+            ):
+                table.add_row(
+                    [
+                        setting,
+                        gd_type,
+                        measure,
+                        len(subset),
+                        yes_no(is_positive_clique(gd, subset)),
+                        f"{average_degree(gd, subset):.2f}",
+                        extra,
+                        f"{affinity(gd, ga.x):.2f}"
+                        if measure == "Graph Affinity"
+                        else "-",
+                        f"{edge_density(gd, subset):.3f}",
+                    ]
+                )
+                recovered[(setting, gd_type, measure)] = subset
+
+    print(table.render())
+
+    print("\nGround-truth check (Weighted / Graph Affinity answers):")
+    for gd_type, groups in planted.items():
+        subset = recovered[("Weighted", gd_type, "Graph Affinity")]
+        hits = [g for g in groups if subset <= g or g <= subset]
+        status = "matches a planted group" if hits else "no planted match"
+        print(f"  {gd_type:13s}: |S| = {len(subset):2d} -> {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Monitor a stream of network snapshots for emerging contrast anomalies.
+
+Extends the paper's anomaly application (Section I) to a temporal loop:
+the expectation graph is the sliding-window mean of recent snapshots, and
+each new snapshot is contrasted against it.  A planted hotspot burst in
+the middle of the stream should spike the contrast score during — and
+only during — its active steps.
+
+Run with::
+
+    python examples/streaming_monitor.py
+"""
+
+from __future__ import annotations
+
+from repro.core.monitor import ContrastMonitor
+from repro.datasets.temporal import snapshot_stream
+
+
+def main() -> None:
+    stream = snapshot_stream(
+        n_vertices=150,
+        n_steps=14,
+        anomaly_size=6,
+        anomaly_start=8,
+        anomaly_duration=3,
+        seed=7,
+    )
+    print(
+        f"stream: {stream.length} snapshots over "
+        f"{len(stream.snapshots[0].vertex_set())} nodes; "
+        f"anomaly of {len(stream.anomaly_members)} nodes active at "
+        f"steps {stream.anomaly_start}..{stream.anomaly_end - 1}\n"
+    )
+
+    monitor = ContrastMonitor(window=5, measure="average_degree")
+    alerts = monitor.run(stream.snapshots)
+
+    max_quiet = max(
+        alert.score
+        for alert in alerts
+        if not stream.is_anomalous_step(alert.step)
+    )
+    threshold = 2.0 * max_quiet
+    print(f"alert threshold = 2 x max quiet score = {threshold:.2f}\n")
+    print("step  score    alert  flagged")
+    for alert in alerts:
+        flag = "  *ALERT*" if alert.exceeds(threshold) else ""
+        members = ""
+        if alert.exceeds(threshold):
+            members = " " + " ".join(sorted(alert.subset)[:6])
+        marker = "<- anomaly live" if stream.is_anomalous_step(alert.step) else ""
+        print(f"{alert.step:4d}  {alert.score:7.2f}{flag}{members}  {marker}")
+
+    fired = {alert.step for alert in alerts if alert.exceeds(threshold)}
+    live = {
+        step
+        for step in range(stream.length)
+        if stream.is_anomalous_step(step)
+    }
+    print(
+        f"\nalerts fired at steps {sorted(fired)}; anomaly live at "
+        f"{sorted(live)}"
+    )
+    hits = fired & live
+    print(f"detection: {len(hits)}/{len(live)} live steps flagged")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Detect emerging and disappearing research topics from paper titles.
+
+Reproduces the workflow of Section VI-C: build keyword association
+graphs for an early and a recent era, then mine the difference graph
+with the DCSGA machinery.  Single-graph dense-subgraph mining falls into
+the "time series trap" — topics that were *always* hot look like trends;
+the contrast objective does not.
+
+Run with::
+
+    python examples/trend_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table, format_embedding
+from repro.core.difference import difference_graph, flip
+from repro.core.newsea import solve_all_initializations
+from repro.datasets.synthetic_text import keyword_corpus
+
+
+def top_topics(gd, k: int = 5):
+    """Top-k positive cliques by affinity via all-vertex initialisation."""
+    result = solve_all_initializations(gd.positive_part())
+    return result.solutions[:k]
+
+
+def main() -> None:
+    corpus = keyword_corpus(n_titles_per_era=2000, seed=11)
+    print(
+        f"corpus: {len(corpus.titles1)} early titles, "
+        f"{len(corpus.titles2)} recent titles, "
+        f"{len(corpus.vocabulary)} keywords\n"
+    )
+
+    gd_emerging = difference_graph(corpus.g1, corpus.g2)
+    gd_disappearing = flip(gd_emerging)
+
+    table = Table(
+        title="Top-5 emerging/disappearing topics w.r.t. graph affinity",
+        columns=["Rank", "Emerging", "Disappearing"],
+    )
+    emerging = top_topics(gd_emerging)
+    disappearing = top_topics(gd_disappearing)
+    for rank in range(5):
+        row = [str(rank + 1)]
+        for solutions in (emerging, disappearing):
+            if rank < len(solutions):
+                _, x, _ = solutions[rank]
+                row.append(format_embedding(x.items(), max_entries=4))
+            else:
+                row.append("-")
+        table.add_row(row)
+    print(table.render())
+
+    # The single-graph view for contrast: what does "dense in G2" say?
+    print("\nTop-5 topics mined from the recent graph alone:")
+    recent = top_topics(corpus.g2)
+    for rank, (_, x, value) in enumerate(recent, start=1):
+        print(f"  {rank}. {format_embedding(x.items(), max_entries=4)}"
+              f"  (affinity {value:.2f})")
+    print(
+        "\nNote how stable evergreen topics (e.g. {time, series}) rank "
+        "high in the single-graph view but not in the contrast view — "
+        "the motivation for DCS in the paper's introduction."
+    )
+
+    print("\nPlanted ground truth:")
+    print("  emerging   :", [sorted(t) for t in corpus.emerging_topics])
+    print("  disappearing:", [sorted(t) for t in corpus.disappearing_topics])
+    print("  stable     :", [sorted(t) for t in corpus.stable_topics])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment lacks `wheel`, which PEP 660 editable installs
+require; `setup.py develop` does not.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of *Mining Density Contrast Subgraphs* (ICDE 2018).
+
+Given two weighted graphs ``G1`` and ``G2`` over the same vertices, find
+the subgraph whose density differs the most between them.  Two density
+measures are supported, each with the paper's algorithm:
+
+* **average degree** (DCSAD) — :func:`repro.dcs_average_degree`, the
+  *DCSGreedy* algorithm with a data-dependent approximation ratio;
+* **graph affinity** (DCSGA) — :func:`repro.dcs_graph_affinity`, the
+  *NewSEA* pipeline (coordinate-descent SEA + refinement + smart
+  initialisation) that always returns a positive-clique solution.
+
+Quickstart::
+
+    from repro import Graph, dcs_average_degree, dcs_graph_affinity
+
+    g1 = Graph.from_edges([("a", "b", 1.0)], vertices="abcd")
+    g2 = Graph.from_edges(
+        [("a", "b", 3.0), ("b", "c", 2.0), ("a", "c", 2.5)], vertices="abcd"
+    )
+    print(dcs_average_degree(g1, g2).subset)       # {'a', 'b', 'c'}
+    print(dcs_graph_affinity(g1, g2).support)      # {'a', 'b', 'c'}
+
+Lower-level building blocks live in the subpackages: :mod:`repro.graph`
+(graph substrate), :mod:`repro.core` (the paper's algorithms),
+:mod:`repro.affinity` (the original-SEA baseline), :mod:`repro.flow`
+(exact densest subgraph), :mod:`repro.baselines` (EgoScan),
+:mod:`repro.datasets` (synthetic data) and :mod:`repro.analysis`
+(metrics and reporting).
+"""
+
+from __future__ import annotations
+
+from repro.core.dcsad import DCSADResult, dcs_greedy
+from repro.core.difference import difference_graph
+from repro.core.newsea import DCSGAResult, new_sea
+from repro.graph.graph import Graph, Vertex
+
+__version__ = "1.0.0"
+
+
+def dcs_average_degree(g1: Graph, g2: Graph, alpha: float = 1.0) -> DCSADResult:
+    """Solve DCSAD on the pair ``(G1, G2)``: maximise ``rho_2 - alpha rho_1``.
+
+    Builds the difference graph ``D = A2 - alpha A1`` and runs DCSGreedy
+    (Algorithm 2).  The result carries the subset, its density contrast,
+    and the data-dependent approximation ratio of Theorem 2.
+    """
+    return dcs_greedy(difference_graph(g1, g2, alpha=alpha))
+
+
+def dcs_graph_affinity(g1: Graph, g2: Graph, alpha: float = 1.0) -> DCSGAResult:
+    """Solve DCSGA on the pair ``(G1, G2)``: maximise ``f_2(x) - alpha f_1(x)``.
+
+    Builds ``GD+`` and runs NewSEA (Algorithm 5).  The returned support
+    is always a positive clique of the difference graph (Theorem 5): a
+    set of vertices every pair of which is more tightly connected in
+    ``G2`` than in ``G1``.
+    """
+    gd = difference_graph(g1, g2, alpha=alpha)
+    return new_sea(gd.positive_part())
+
+
+__all__ = [
+    "Graph",
+    "Vertex",
+    "DCSADResult",
+    "DCSGAResult",
+    "dcs_average_degree",
+    "dcs_graph_affinity",
+    "difference_graph",
+    "dcs_greedy",
+    "new_sea",
+    "__version__",
+]

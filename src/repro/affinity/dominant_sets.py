@@ -1,0 +1,106 @@
+"""Dominant-set clustering (Pavan & Pelillo [21]).
+
+The paper cites dominant sets as the classic application of maximising
+``x^T A x`` over the simplex with replicator dynamics: each local maximum
+is a *dominant set* — a cluster whose internal homogeneity exceeds its
+external affinities.  Peeling dominant sets one at a time yields a
+clustering; the module implements that loop on top of
+:mod:`repro.affinity.replicator`, giving the library the [21] baseline in
+full (it is also a second, historically-faithful route to multi-solution
+mining next to :func:`repro.core.topk.top_k_dcsga`).
+
+Only nonnegative affinity matrices are supported (a replicator-dynamics
+requirement) — run on ``GD+`` for contrast inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.affinity.replicator import replicator_dynamics
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class DominantSet:
+    """One peeled cluster: its embedding, support and cohesiveness."""
+
+    x: Dict[Vertex, float]
+    support: Set[Vertex]
+    cohesiveness: float  # f(x) at the local maximum
+
+
+def extract_dominant_set(
+    graph: Graph,
+    seed_vertices: Optional[Set[Vertex]] = None,
+    tol: float = 1e-9,
+    max_iterations: int = 200_000,
+) -> Optional[DominantSet]:
+    """One dominant set of *graph* via replicator dynamics.
+
+    Starts from the uniform embedding over *seed_vertices* (default: all
+    non-isolated vertices) and iterates to a local maximum with the
+    strict gradient condition.  Returns None when the graph has no edges
+    among the seeds (no cluster to extract).
+    """
+    if seed_vertices is None:
+        members = {
+            u for u in graph.vertices() if graph.unweighted_degree(u) > 0
+        }
+    else:
+        members = set(seed_vertices)
+    if not members:
+        return None
+    x0 = {u: 1.0 / len(members) for u in members}
+    result = replicator_dynamics(
+        graph, x0, rule="gradient", tol=tol, max_iterations=max_iterations
+    )
+    if result.objective <= 0.0:
+        return None
+    support = {u for u, w in result.x.items() if w > 0.0}
+    return DominantSet(
+        x=dict(result.x),
+        support=support,
+        cohesiveness=result.objective,
+    )
+
+
+def dominant_set_clustering(
+    graph: Graph,
+    max_clusters: Optional[int] = None,
+    min_cohesiveness: float = 0.0,
+) -> List[DominantSet]:
+    """Peel dominant sets until the graph (or the budget) is exhausted.
+
+    The classic Pavan–Pelillo loop: extract a dominant set, remove its
+    support, repeat.  Stops when no positive-cohesiveness cluster
+    remains, when *max_clusters* is reached, or when cohesiveness falls
+    to *min_cohesiveness*.
+    """
+    for _, _, weight in graph.edges():
+        if weight < 0:
+            raise ValueError(
+                "dominant sets require nonnegative weights; run on GD+"
+            )
+    clusters: List[DominantSet] = []
+    work = graph.copy()
+    while max_clusters is None or len(clusters) < max_clusters:
+        cluster = extract_dominant_set(work)
+        if cluster is None or cluster.cohesiveness <= min_cohesiveness:
+            break
+        clusters.append(cluster)
+        for vertex in cluster.support:
+            work.remove_vertex(vertex)
+    return clusters
+
+
+def cluster_assignment(
+    clusters: List[DominantSet],
+) -> Dict[Vertex, int]:
+    """Map each clustered vertex to its cluster index."""
+    assignment: Dict[Vertex, int] = {}
+    for index, cluster in enumerate(clusters):
+        for vertex in cluster.support:
+            assignment[vertex] = index
+    return assignment

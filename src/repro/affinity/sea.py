@@ -1,0 +1,132 @@
+"""The original SEA algorithm [18] — the paper's DCSGA baseline.
+
+Identical skeleton to SEACD (shrink to a local KKT point, then expand),
+but the shrink stage is replicator dynamics with the **loose**
+convergence condition of [18]: stop when one iteration improves the
+objective by less than ``1e-6``.  Because that condition can fire before
+a local KKT point is reached, the subsequent expansion step — whose
+correctness *assumes* a local KKT point — sometimes decreases the
+objective.  The paper calls these events *errors in Expansion* and
+reports their counts in Table VII and their rate in Fig. 2b; this
+implementation detects and counts them the same way.
+
+``sea_refine_solver`` packages SEA + Refinement in the per-vertex solver
+signature of :func:`repro.core.newsea.solve_all_initializations`, so the
+*SEA+Refine* baseline reuses the same all-inits driver as SEACD+Refine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.affinity.replicator import ConvergenceRule, replicator_dynamics
+from repro.core.expansion import expansion_step
+from repro.core.refinement import refine
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass
+class SEAStats:
+    """Counters for one original-SEA run."""
+
+    shrink_calls: int = 0
+    shrink_iterations: int = 0
+    expansions: int = 0
+    expansion_errors: int = 0
+    objective_trace: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SEAResult:
+    """Final iterate of the original SEA algorithm."""
+
+    x: Dict[Vertex, float]
+    objective: float
+    converged: bool
+    stats: SEAStats
+
+
+def sea(
+    graph: Graph,
+    x0: Dict[Vertex, float],
+    shrink_rule: ConvergenceRule = "objective",
+    shrink_tol: float = 1e-6,
+    max_expansions: int = 10_000,
+    max_replicator_iterations: int = 100_000,
+) -> SEAResult:
+    """Run the original SEA from *x0* on a nonnegative-weight graph.
+
+    Defaults reproduce the paper's experimental configuration for
+    *SEA+Refine*: ``shrink_rule="objective"`` with ``1e-6`` improvement
+    threshold.  Pass ``shrink_rule="gradient"`` for the strict-condition
+    ablation (much slower, no expansion errors).
+    """
+    stats = SEAStats()
+    x = {u: w for u, w in x0.items() if w > 0.0}
+    if not x:
+        raise ValueError("initial embedding has empty support")
+
+    converged = False
+    objective = 0.0
+    while stats.expansions < max_expansions:
+        shrink = replicator_dynamics(
+            graph,
+            x,
+            rule=shrink_rule,
+            tol=shrink_tol,
+            max_iterations=max_replicator_iterations,
+        )
+        stats.shrink_calls += 1
+        stats.shrink_iterations += shrink.iterations
+        x = shrink.x
+        objective = shrink.objective
+        stats.objective_trace.append(objective)
+
+        # The original SEA computes the expansion under the premise that
+        # every support gradient equals lambda — see the lambda_mode docs
+        # in repro.core.expansion for why this is what makes the loose
+        # shrink condition produce expansion errors.
+        step = expansion_step(
+            graph, x, objective=objective, lambda_mode="min_support_gradient"
+        )
+        if not step.expanded:
+            converged = True
+            break
+        if step.decreased:
+            # The loose shrink condition did not reach a local KKT point,
+            # so the expansion direction was computed from a wrong premise
+            # and the objective dropped — the paper's "error in Expansion".
+            stats.expansion_errors += 1
+        x = step.x
+        objective = step.objective_after
+        stats.expansions += 1
+
+    return SEAResult(x=x, objective=objective, converged=converged, stats=stats)
+
+
+def sea_refine_solver(
+    shrink_rule: ConvergenceRule = "objective",
+    shrink_tol: float = 1e-6,
+    max_expansions: int = 10_000,
+    refinement_tol_scale: float = 1e-2,
+):
+    """A per-vertex *SEA+Refine* solver for the all-inits driver.
+
+    Returns a callable ``(graph, vertex) -> (x, objective, errors)``
+    compatible with
+    :func:`repro.core.newsea.solve_all_initializations`.
+    """
+
+    def solve(graph: Graph, vertex: Vertex) -> Tuple[Dict[Vertex, float], float, int]:
+        result = sea(
+            graph,
+            {vertex: 1.0},
+            shrink_rule=shrink_rule,
+            shrink_tol=shrink_tol,
+            max_expansions=max_expansions,
+        )
+        refined = refine(graph, result.x, tol_scale=refinement_tol_scale)
+        return refined.x, refined.objective, result.stats.expansion_errors
+
+    return solve

@@ -1,0 +1,81 @@
+"""Measurement and reporting utilities for experiments.
+
+* :mod:`repro.analysis.metrics` — the paper's density measures and their
+  contrast variants.
+* :mod:`repro.analysis.stats` — Table II dataset statistics.
+* :mod:`repro.analysis.reporting` — ASCII tables/series used by the
+  benchmark harness to regenerate every table and figure.
+* :mod:`repro.analysis.clique_census` — Fig. 3 clique-size censuses.
+"""
+
+from repro.analysis.clique_census import (
+    CliqueCensus,
+    census_from_all_inits,
+    census_from_solutions,
+    census_series,
+    verify_cliques,
+)
+from repro.analysis.metrics import (
+    affinity,
+    affinity_contrast,
+    average_degree,
+    average_degree_contrast,
+    edge_density,
+    edge_density_contrast,
+    embedding_summary,
+    support,
+    total_degree,
+    total_degree_contrast,
+    uniform_affinity,
+)
+from repro.analysis.reporting import (
+    Series,
+    Table,
+    format_embedding,
+    format_ratio,
+    yes_no,
+)
+from repro.analysis.validation import (
+    RecoveryScore,
+    best_match,
+    recovery_report,
+    score_against,
+)
+from repro.analysis.stats import (
+    NamedDifferenceGraph,
+    dataset_stats_row,
+    dataset_stats_table,
+    positive_density_series,
+)
+
+__all__ = [
+    "affinity",
+    "affinity_contrast",
+    "average_degree",
+    "average_degree_contrast",
+    "edge_density",
+    "edge_density_contrast",
+    "embedding_summary",
+    "support",
+    "total_degree",
+    "total_degree_contrast",
+    "uniform_affinity",
+    "Series",
+    "Table",
+    "format_embedding",
+    "format_ratio",
+    "yes_no",
+    "NamedDifferenceGraph",
+    "dataset_stats_row",
+    "dataset_stats_table",
+    "positive_density_series",
+    "RecoveryScore",
+    "score_against",
+    "best_match",
+    "recovery_report",
+    "CliqueCensus",
+    "census_from_all_inits",
+    "census_from_solutions",
+    "census_series",
+    "verify_cliques",
+]

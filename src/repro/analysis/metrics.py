@@ -1,0 +1,120 @@
+"""Density measures (Section III-A) and contrast evaluations.
+
+All conventions follow the paper:
+
+* total degree ``W(S)`` counts each undirected edge twice (Eq. 1);
+* average degree ``rho(S) = W(S)/|S|``;
+* edge density ``W(S)/|S|^2`` — "the discrete version of graph affinity";
+* graph affinity ``f(x) = x^T A x`` over the simplex.
+
+Contrast variants take either the pair ``(G1, G2)`` or a prebuilt
+difference graph; on the difference graph each measure *is* the contrast
+(Eqs. 5 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Set
+
+from repro.graph.graph import Graph, Vertex
+
+
+def total_degree(graph: Graph, subset: Iterable[Vertex]) -> float:
+    """``W(S)``: sum of induced weighted degrees (each edge twice)."""
+    return graph.total_degree(set(subset))
+
+
+def average_degree(graph: Graph, subset: Iterable[Vertex]) -> float:
+    """``rho(S) = W(S)/|S|``; 0 density for a singleton."""
+    members = set(subset)
+    if not members:
+        raise ValueError("average degree of an empty set is undefined")
+    return graph.total_degree(members) / len(members)
+
+
+def edge_density(graph: Graph, subset: Iterable[Vertex]) -> float:
+    """``W(S)/|S|^2`` — the discrete version of graph affinity."""
+    members = set(subset)
+    if not members:
+        raise ValueError("edge density of an empty set is undefined")
+    return graph.total_degree(members) / (len(members) ** 2)
+
+
+def affinity(graph: Graph, x: Mapping[Vertex, float]) -> float:
+    """``f(x) = x^T A x``: each edge contributes ``2 x_u x_v w(u, v)``."""
+    total = 0.0
+    for u, xu in x.items():
+        if xu == 0.0 or not graph.has_vertex(u):
+            continue
+        for v, weight in graph.neighbors(u).items():
+            xv = x.get(v)
+            if xv:
+                total += xu * xv * weight
+    return total
+
+
+def uniform_affinity(graph: Graph, subset: Iterable[Vertex]) -> float:
+    """Affinity of the uniform embedding on *subset* (= edge density)."""
+    members = set(subset)
+    if not members:
+        raise ValueError("uniform affinity of an empty set is undefined")
+    share = 1.0 / len(members)
+    return affinity(graph, {u: share for u in members})
+
+
+# ----------------------------------------------------------------------
+# contrast evaluations on pairs
+# ----------------------------------------------------------------------
+def average_degree_contrast(
+    g1: Graph, g2: Graph, subset: Iterable[Vertex]
+) -> float:
+    """``rho_2(S) - rho_1(S)`` (Eq. 3)."""
+    members = set(subset)
+    return average_degree(g2, members) - average_degree(g1, members)
+
+
+def edge_density_contrast(
+    g1: Graph, g2: Graph, subset: Iterable[Vertex]
+) -> float:
+    """Edge-density gap ``W_2(S)/|S|^2 - W_1(S)/|S|^2``."""
+    members = set(subset)
+    return edge_density(g2, members) - edge_density(g1, members)
+
+
+def affinity_contrast(
+    g1: Graph, g2: Graph, x: Mapping[Vertex, float]
+) -> float:
+    """``f_2(x) - f_1(x)`` (Eq. 4)."""
+    return affinity(g2, x) - affinity(g1, x)
+
+
+def total_degree_contrast(
+    g1: Graph, g2: Graph, subset: Iterable[Vertex]
+) -> float:
+    """``W_2(S) - W_1(S)`` — EgoScan's objective on the pair."""
+    members = set(subset)
+    return total_degree(g2, members) - total_degree(g1, members)
+
+
+def support(x: Mapping[Vertex, float]) -> Set[Vertex]:
+    """``Sx = {u : x_u > 0}``."""
+    return {u for u, value in x.items() if value > 0.0}
+
+
+def embedding_summary(gd: Graph, x: Mapping[Vertex, float]) -> dict:
+    """The per-solution row used across the result tables.
+
+    Returns affinity difference, edge density difference, average degree
+    difference and total edge weight difference of the support, as
+    reported for DCSGA solutions in Tables IV, XI, XIII, XIV and IX.
+    """
+    members = support(x)
+    if not members:
+        raise ValueError("empty embedding")
+    return {
+        "size": len(members),
+        "affinity": affinity(gd, x),
+        "edge_density": edge_density(gd, members),
+        "average_degree": average_degree(gd, members),
+        "total_weight": total_degree(gd, members),
+    }

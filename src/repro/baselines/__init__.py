@@ -1,0 +1,17 @@
+"""Comparison baselines: EgoScan [Cadena et al. 2016] and exact oracles."""
+
+from repro.baselines.egoscan import EgoScanResult, ego_scan, scan_ego_net
+from repro.baselines.heaviest import (
+    exact_heaviest_subgraph,
+    local_search_heaviest,
+    marginal_weight,
+)
+
+__all__ = [
+    "EgoScanResult",
+    "ego_scan",
+    "scan_ego_net",
+    "exact_heaviest_subgraph",
+    "local_search_heaviest",
+    "marginal_weight",
+]

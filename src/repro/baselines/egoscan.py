@@ -1,0 +1,166 @@
+"""EgoScan substitute — the paper's closest-work baseline [6].
+
+Cadena et al. maximise the **total edge weight** ``W_D(S)`` of a signed
+difference graph by scanning the ego net of every vertex with a
+semidefinite-programming relaxation and rounding.  No SDP solver is
+available in this offline environment, so this module substitutes the
+SDP with:
+
+1. a **spectral relaxation** per ego net — power iteration on the
+   (shifted) ego-net affinity matrix, followed by a sweep over prefixes
+   of the eigenvector ordering; and
+2. a **signed greedy local search**
+   (:func:`repro.baselines.heaviest.local_search_heaviest`) polishing the
+   sweep solution inside the ego net, with a final global polish of the
+   best candidate.
+
+The substitution preserves what the paper measures: identical objective
+(``max W_D(S)``), identical search space (ego-net seeded subgraphs), and
+the qualitative behaviour of Tables VIII/IX — EgoScan returns much
+larger, non-clique subgraphs with higher total-weight difference and far
+lower density difference than the DCS algorithms.  It is also, like the
+original, by far the slowest baseline (every vertex's ego net is scanned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.heaviest import local_search_heaviest, marginal_weight
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class EgoScanResult:
+    """Best subgraph found by the ego-net scan.
+
+    ``total_weight`` is ``W_D(S)`` with the paper's total-degree
+    convention (each edge counted twice), the same quantity Table IX
+    reports.
+    """
+
+    subset: Set[Vertex]
+    total_weight: float
+    seed: Optional[Vertex]
+    seeds_scanned: int
+
+
+def _power_iteration(
+    graph: Graph,
+    members: List[Vertex],
+    iterations: int = 60,
+) -> Dict[Vertex, float]:
+    """Leading eigenvector of the ego-net affinity matrix (dict-based).
+
+    The matrix is shifted by its max absolute row sum so the dominant
+    eigenvalue is nonnegative and the iteration cannot oscillate between
+    signs (the signed ego matrix may have a dominant negative eigenvalue).
+    """
+    member_set = set(members)
+    shift = 0.0
+    for u in members:
+        row_sum = sum(
+            abs(weight)
+            for v, weight in graph.neighbors(u).items()
+            if v in member_set
+        )
+        shift = max(shift, row_sum)
+    size = len(members)
+    vector = {u: 1.0 / size for u in members}
+    for _ in range(iterations):
+        result: Dict[Vertex, float] = {}
+        for u in members:
+            total = shift * vector[u]
+            for v, weight in graph.neighbors(u).items():
+                if v in member_set:
+                    total += weight * vector[v]
+            result[u] = total
+        norm = max(abs(value) for value in result.values())
+        if norm <= 0.0:
+            return vector
+        vector = {u: value / norm for u, value in result.items()}
+    return vector
+
+
+def _sweep(graph: Graph, ordering: Sequence[Vertex]) -> Tuple[Set[Vertex], float]:
+    """Best prefix of *ordering* by induced total weight.
+
+    Incremental: appending ``v`` adds its marginal into the prefix.
+    Returns the best nonempty prefix (single vertices weigh 0).
+    """
+    best_weight = 0.0
+    best_size = 1
+    prefix: Set[Vertex] = set()
+    weight = 0.0
+    for index, vertex in enumerate(ordering, start=1):
+        weight += marginal_weight(graph, prefix, vertex)
+        prefix.add(vertex)
+        if weight > best_weight:
+            best_weight = weight
+            best_size = index
+    return set(ordering[:best_size]), 2.0 * best_weight
+
+
+def scan_ego_net(graph: Graph, seed: Vertex) -> Tuple[Set[Vertex], float]:
+    """Spectral sweep + local search inside the ego net of *seed*."""
+    neighbors = graph.neighbors(seed)
+    members = [seed] + list(neighbors)
+    if len(members) == 1:
+        return {seed}, 0.0
+    vector = _power_iteration(graph, members)
+    ordering = sorted(members, key=lambda u: -vector[u])
+    swept, _ = _sweep(graph, ordering)
+    subset, total = local_search_heaviest(
+        graph, swept, candidate_pool=set(members)
+    )
+    return subset, total
+
+
+def ego_scan(
+    graph: Graph,
+    seeds: Optional[Sequence[Vertex]] = None,
+    max_seeds: Optional[int] = None,
+    global_polish: bool = True,
+) -> EgoScanResult:
+    """Scan ego nets of *seeds* (default: all vertices, highest degree first).
+
+    *max_seeds* caps the scan for large graphs — the paper itself could
+    not run EgoScan past the DBLP-sized inputs ("either EgoScan could not
+    finish running in one day or the memory ... was not enough").
+
+    With *global_polish*, the best ego solution is refined once more with
+    the whole graph as the candidate pool, mirroring EgoScan's final
+    aggregation step.
+    """
+    if graph.num_vertices == 0:
+        raise ValueError("empty graph")
+    if seeds is None:
+        pool = sorted(
+            graph.vertices(),
+            key=lambda u: (-graph.unweighted_degree(u), repr(u)),
+        )
+    else:
+        pool = list(seeds)
+    if max_seeds is not None:
+        pool = pool[:max_seeds]
+
+    best_subset: Set[Vertex] = {pool[0]} if pool else set()
+    best_weight = 0.0
+    best_seed: Optional[Vertex] = None
+    for seed in pool:
+        subset, weight = scan_ego_net(graph, seed)
+        if weight > best_weight:
+            best_subset, best_weight, best_seed = subset, weight, seed
+
+    if global_polish and best_subset:
+        polished, weight = local_search_heaviest(graph, best_subset)
+        if weight > best_weight:
+            best_subset, best_weight = polished, weight
+
+    return EgoScanResult(
+        subset=best_subset,
+        total_weight=best_weight,
+        seed=best_seed,
+        seeds_scanned=len(pool),
+    )

@@ -1,0 +1,222 @@
+"""Exact brute-force oracles for small instances.
+
+Both DCS problems are NP-hard (Theorems 1 and 3), so the library ships
+exponential-time oracles used by the test suite and the ablation benches
+to measure how close the heuristics get on small graphs:
+
+* :func:`exact_dcsad` — enumerate all vertex subsets, maximise
+  ``rho_D(S) = W_D(S)/|S|``.
+* :func:`exact_dcsga` — by Theorem 5 an optimal DCSGA solution is
+  supported on a positive clique; enumerate all cliques of ``GD+`` and,
+  for each clique ``S``, solve the interior KKT system
+  ``D_S z = 1`` -> ``x = z / sum(z)``, ``f = 1 / sum(z)``.
+  Supports where the optimum sits on the boundary of the sub-simplex are
+  covered automatically because *every* sub-clique is enumerated too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph, Vertex
+
+#: Hard cap for subset enumeration; beyond this the oracle refuses.
+MAX_EXACT_VERTICES = 22
+
+
+@dataclass(frozen=True)
+class ExactDCSAD:
+    """Optimal DCSAD solution on a small graph."""
+
+    subset: Set[Vertex]
+    density: float
+
+
+@dataclass(frozen=True)
+class ExactDCSGA:
+    """Optimal DCSGA solution on a small graph."""
+
+    x: Dict[Vertex, float]
+    objective: float
+
+    @property
+    def support(self) -> Set[Vertex]:
+        return {u for u, w in self.x.items() if w > 0.0}
+
+
+def exact_dcsad(gd: Graph) -> ExactDCSAD:
+    """Optimal ``max_S W_D(S)/|S|`` by exhaustive subset enumeration.
+
+    ``O(2^n)`` with an incremental weight update per subset; refuses
+    graphs above :data:`MAX_EXACT_VERTICES` vertices.
+    """
+    vertices = sorted(gd.vertices(), key=repr)
+    n = len(vertices)
+    if n == 0:
+        raise ValueError("empty graph")
+    if n > MAX_EXACT_VERTICES:
+        raise ValueError(
+            f"exact oracle limited to {MAX_EXACT_VERTICES} vertices, got {n}"
+        )
+    index = {v: i for i, v in enumerate(vertices)}
+    matrix = np.zeros((n, n))
+    for u, v, weight in gd.edges():
+        i, j = index[u], index[v]
+        matrix[i, j] = weight
+        matrix[j, i] = weight
+
+    # weight_of[mask] = once-counted induced weight; built incrementally:
+    # adding vertex b to `rest` adds the weights from b into `rest`.
+    best_density = float("-inf")
+    best_mask = 0
+    weight_of = np.zeros(1 << n)
+    # cross[b][mask] would be O(n 2^n) memory; compute on the fly instead.
+    for mask in range(1, 1 << n):
+        low = (mask & -mask).bit_length() - 1
+        rest = mask & (mask - 1)
+        cross = 0.0
+        remaining = rest
+        while remaining:
+            other = (remaining & -remaining).bit_length() - 1
+            cross += matrix[low, other]
+            remaining &= remaining - 1
+        weight_of[mask] = weight_of[rest] + cross
+        density = 2.0 * weight_of[mask] / mask.bit_count()
+        if density > best_density:
+            best_density = density
+            best_mask = mask
+
+    subset = {vertices[i] for i in range(n) if best_mask >> i & 1}
+    return ExactDCSAD(subset=subset, density=best_density)
+
+
+def _all_cliques(gd_plus: Graph) -> Iterator[List[Vertex]]:
+    """Every clique (not only maximal ones) of ``gd_plus``, incl. singletons."""
+    vertices = sorted(gd_plus.vertices(), key=repr)
+    position = {v: i for i, v in enumerate(vertices)}
+
+    def extend(clique: List[Vertex], candidates: List[Vertex]) -> Iterator[List[Vertex]]:
+        yield list(clique)
+        for k, vertex in enumerate(candidates):
+            neighbors = gd_plus.neighbors(vertex)
+            clique.append(vertex)
+            narrowed = [u for u in candidates[k + 1 :] if u in neighbors]
+            yield from extend(clique, narrowed)
+            clique.pop()
+
+    for i, vertex in enumerate(vertices):
+        later = [
+            u
+            for u in gd_plus.neighbors(vertex)
+            if position[u] > i
+        ]
+        later.sort(key=repr)
+        yield from extend([vertex], later)
+
+
+def clique_interior_optimum(
+    gd: Graph, clique: List[Vertex]
+) -> Optional[Tuple[Dict[Vertex, float], float]]:
+    """The interior KKT candidate on a clique's sub-simplex, if valid.
+
+    Solves ``D_S z = 1``; the candidate ``x = z / sum(z)`` with objective
+    ``1 / sum(z)`` is returned only when the system is well-posed, all
+    entries are strictly positive and the objective is positive —
+    otherwise the optimum over this support lies on the boundary and is
+    found through a sub-clique.
+    """
+    k = len(clique)
+    if k == 1:
+        return {clique[0]: 1.0}, 0.0
+    sub = np.zeros((k, k))
+    for a in range(k):
+        row = gd.neighbors(clique[a])
+        for b in range(a + 1, k):
+            weight = row.get(clique[b], 0.0)
+            sub[a, b] = weight
+            sub[b, a] = weight
+    try:
+        z = np.linalg.solve(sub, np.ones(k))
+    except np.linalg.LinAlgError:
+        return None
+    total = float(z.sum())
+    if total <= 0.0 or np.any(z <= 0.0):
+        return None
+    x = {clique[a]: float(z[a] / total) for a in range(k)}
+    return x, 1.0 / total
+
+
+def exact_dcsga(gd: Graph) -> ExactDCSGA:
+    """Optimal ``max_{x in simplex} x^T D x`` via positive-clique search.
+
+    Justification (Theorem 5): some optimal solution is supported on a
+    positive clique of ``GD``; on that support the optimum either
+    satisfies the interior KKT system or lives on a face — i.e. on a
+    smaller clique, which the enumeration also visits.
+    """
+    vertices = list(gd.vertices())
+    if not vertices:
+        raise ValueError("empty graph")
+    if len(vertices) > MAX_EXACT_VERTICES:
+        raise ValueError(
+            f"exact oracle limited to {MAX_EXACT_VERTICES} vertices"
+        )
+    gd_plus = gd.positive_part()
+
+    best_x: Dict[Vertex, float] = {min(vertices, key=repr): 1.0}
+    best_objective = 0.0
+    for clique in _all_cliques(gd_plus):
+        candidate = clique_interior_optimum(gd, clique)
+        if candidate is None:
+            continue
+        x, objective = candidate
+        if objective > best_objective:
+            best_x, best_objective = x, objective
+    return ExactDCSGA(x=best_x, objective=best_objective)
+
+
+def exact_heaviest_subgraph(gd: Graph) -> Tuple[Set[Vertex], float]:
+    """``max_S W_D(S)`` (total degree) — EgoScan's objective, exactly.
+
+    Exhaustive like :func:`exact_dcsad`; used to audit the EgoScan
+    substitute on small inputs.
+    """
+    vertices = sorted(gd.vertices(), key=repr)
+    n = len(vertices)
+    if n == 0:
+        raise ValueError("empty graph")
+    if n > MAX_EXACT_VERTICES:
+        raise ValueError(
+            f"exact oracle limited to {MAX_EXACT_VERTICES} vertices"
+        )
+    index = {v: i for i, v in enumerate(vertices)}
+    matrix = np.zeros((n, n))
+    for u, v, weight in gd.edges():
+        i, j = index[u], index[v]
+        matrix[i, j] = weight
+        matrix[j, i] = weight
+
+    best_weight = 0.0
+    best_mask = 0
+    weight_of = np.zeros(1 << n)
+    for mask in range(1, 1 << n):
+        low = (mask & -mask).bit_length() - 1
+        rest = mask & (mask - 1)
+        cross = 0.0
+        remaining = rest
+        while remaining:
+            other = (remaining & -remaining).bit_length() - 1
+            cross += matrix[low, other]
+            remaining &= remaining - 1
+        weight_of[mask] = weight_of[rest] + cross
+        if 2.0 * weight_of[mask] > best_weight:
+            best_weight = 2.0 * weight_of[mask]
+            best_mask = mask
+
+    subset = {vertices[i] for i in range(n) if best_mask >> i & 1}
+    if not subset:
+        subset = {vertices[0]}
+    return subset, best_weight

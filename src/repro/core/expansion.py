@@ -1,0 +1,209 @@
+"""The SEA expansion operation (Section V-B / Appendix A).
+
+After the shrink stage reaches a local KKT point ``x`` on ``S``, the
+expansion stage looks for vertices whose gradient exceeds
+``lambda = 2 f(x)``:
+
+    ``Z = {i : grad_i f(x) > lambda}``
+
+and pushes mass toward them along the direction ``b`` with
+``b_i = -x_i s`` on the support and ``b_i = gamma_i`` on ``Z``, where
+``gamma_i = (Dx)_i - f(x)``.  The step size ``tau`` maximising
+``f(x + tau b)`` is analytic.
+
+Note on the algebra: with ``s = sum gamma``, ``zeta = sum gamma^2`` and
+``omega = sum_{i,j in Z} gamma_i gamma_j D(i,j)``,
+
+    ``f(x + tau b) - f(x) = -(f s^2 + 2 s zeta - omega) tau^2 + 2 zeta tau``
+
+so ``tau* = 1/s`` when ``a = f s^2 + 2 s zeta - omega <= 0`` and
+``min(1/s, zeta/a)`` otherwise.  The paper's printed formula carries two
+sign typos (its literal form could never increase ``f``); the test suite
+checks the identity above symbolically against dense matrix evaluation.
+
+The same operation serves both SEACD (:mod:`repro.core.seacd`) and the
+original-SEA baseline (:mod:`repro.affinity.sea`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.graph.graph import Graph, Vertex
+
+#: Entries below this after an expansion step are treated as exact zeros.
+PRUNE_EPS = 1e-15
+
+
+@dataclass(frozen=True)
+class ExpansionStep:
+    """Result of one expansion: the new iterate and bookkeeping.
+
+    ``expanded`` is False when ``Z`` was empty (global KKT reached).
+    ``objective_before``/``objective_after`` let callers detect
+    *expansion errors* — the paper's term for an expansion that decreases
+    the objective because the shrink stage had not actually reached a
+    local KKT point (Section V-C).
+    """
+
+    x: Dict[Vertex, float]
+    expanded: bool
+    z_size: int
+    objective_before: float
+    objective_after: float
+
+    @property
+    def decreased(self) -> bool:
+        """Whether this step lowered the objective (an expansion error)."""
+        tolerance = 1e-12 * max(1.0, abs(self.objective_before))
+        return self.expanded and (
+            self.objective_after < self.objective_before - tolerance
+        )
+
+
+def candidate_frontier(graph: Graph, support: Set[Vertex]) -> Set[Vertex]:
+    """Vertices outside *support* with at least one neighbour inside.
+
+    Only these can have a positive gradient, so the expansion test is
+    restricted to them — the ``sum_{v in S} |N_D(v)|`` cost quoted in the
+    paper.
+    """
+    frontier: Set[Vertex] = set()
+    for u in support:
+        frontier.update(graph.neighbors(u))
+    frontier -= support
+    return frontier
+
+
+def expansion_step(
+    graph: Graph,
+    x: Dict[Vertex, float],
+    objective: Optional[float] = None,
+    strict_tol: float = 1e-12,
+    lambda_mode: str = "objective",
+) -> ExpansionStep:
+    """Apply one SEA expansion to *x* on *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose affinity is being maximised (``GD+`` in the
+        solvers; the operation itself works for signed graphs too).
+    x:
+        Current embedding ``{vertex: weight}``; not mutated.
+    objective:
+        ``f(x)`` if the caller already knows it (saves a pass).
+    strict_tol:
+        Relative slack for the strict inequality defining ``Z`` — guards
+        against re-adding vertices whose gradient equals ``lambda`` up to
+        rounding.
+    lambda_mode:
+        How the KKT multiplier estimate ``lambda_bar`` (half of
+        ``lambda``) entering ``gamma`` and ``tau`` is obtained:
+
+        * ``"objective"`` — ``lambda_bar = f(x)`` exactly.  With this
+          choice the step is an ascent direction *unconditionally* (the
+          improvement identity ``-a tau^2 + 2 zeta tau`` holds without
+          any KKT premise), which is what SEACD uses.
+        * ``"min_support_gradient"`` — ``lambda_bar = min (Dx)_u`` over
+          the support vertices carrying non-negligible mass (entries
+          still decaying toward zero are treated as already pruned, as
+          replicator implementations do).  This is the original SEA's
+          premise that every support gradient equals ``lambda``.  At an
+          exact local KKT point the two modes coincide; when the loose
+          shrink condition stops early, the minimum *underestimates*
+          ``f`` (``f`` is the x-weighted mean of support gradients),
+          ``Z`` absorbs vertices worse than the current mix and the step
+          can **decrease** the objective — the paper's "errors in
+          Expansion" (Section V-C, Table VII, Fig. 2b).
+    """
+    support = {u for u, w in x.items() if w > 0.0}
+    if objective is None:
+        objective = _affinity(graph, x)
+
+    if lambda_mode == "objective":
+        lambda_bar = objective
+    elif lambda_mode == "min_support_gradient":
+        mass_floor = 0.1 * max(x.values())
+        core = [u for u, w in x.items() if w >= mass_floor]
+        lambda_bar = min(_dx(graph, x, u) for u in core)
+    else:
+        raise ValueError(f"unknown lambda_mode {lambda_mode!r}")
+    threshold = lambda_bar + strict_tol * max(1.0, abs(lambda_bar))
+
+    gamma: Dict[Vertex, float] = {}
+    for candidate in candidate_frontier(graph, support):
+        dx_value = _dx(graph, x, candidate)
+        if dx_value > threshold:
+            gamma[candidate] = dx_value - lambda_bar
+
+    if not gamma:
+        return ExpansionStep(
+            x=dict(x),
+            expanded=False,
+            z_size=0,
+            objective_before=objective,
+            objective_after=objective,
+        )
+
+    s = sum(gamma.values())
+    zeta = sum(value * value for value in gamma.values())
+    omega = 0.0
+    for i, gi in gamma.items():
+        for j, weight in graph.neighbors(i).items():
+            gj = gamma.get(j)
+            if gj is not None:
+                omega += gi * gj * weight
+
+    a = lambda_bar * s * s + 2.0 * s * zeta - omega
+    if a <= 0.0:
+        tau = 1.0 / s
+    else:
+        tau = min(1.0 / s, zeta / a)
+
+    shrink_factor = 1.0 - tau * s
+    new_x: Dict[Vertex, float] = {}
+    if shrink_factor > PRUNE_EPS:
+        for u, w in x.items():
+            value = w * shrink_factor
+            if value > PRUNE_EPS:
+                new_x[u] = value
+    for i, gi in gamma.items():
+        value = tau * gi
+        if value > PRUNE_EPS:
+            new_x[i] = value
+
+    # Renormalise away accumulated rounding (the step preserves the sum
+    # analytically: (1 - tau s) + tau s = 1).
+    total = sum(new_x.values())
+    if total > 0 and abs(total - 1.0) > 1e-12:
+        for u in new_x:
+            new_x[u] /= total
+
+    return ExpansionStep(
+        x=new_x,
+        expanded=True,
+        z_size=len(gamma),
+        objective_before=objective,
+        objective_after=_affinity(graph, new_x),
+    )
+
+
+def _dx(graph: Graph, x: Dict[Vertex, float], vertex: Vertex) -> float:
+    total = 0.0
+    for neighbor, weight in graph.neighbors(vertex).items():
+        xv = x.get(neighbor)
+        if xv is not None:
+            total += weight * xv
+    return total
+
+
+def _affinity(graph: Graph, x: Dict[Vertex, float]) -> float:
+    total = 0.0
+    for u, xu in x.items():
+        for v, weight in graph.neighbors(u).items():
+            xv = x.get(v)
+            if xv is not None:
+                total += xu * xv * weight
+    return total

@@ -1,0 +1,95 @@
+"""Smart initialisation for NewSEA (Section V-D, Theorem 6).
+
+For every vertex ``u`` of ``GD+``:
+
+* ``w_u`` — an upper bound on the maximum edge weight of ``u``'s ego net
+  ``GD+(T_u)`` (``T_u = {u} union N(u)``), computed in ``O(n + m)`` by
+  first taking each vertex's max incident weight and then maxing that
+  over ``T_u``;
+* ``tau_u`` — the core number of ``u`` in ``GD+``, which caps the size of
+  any clique containing ``u`` at ``tau_u + 1``;
+* ``mu_u = tau_u * w_u / (tau_u + 1)`` — by Theorem 6 an upper bound on
+  ``x^T D x`` for any clique-supported embedding containing ``u``.
+
+NewSEA sorts vertices by decreasing ``mu_u`` and stops initialising as
+soon as ``mu_u`` drops below the best objective found.  It is a
+*heuristic*, not a pruning rule — the solver started at ``u`` may end on
+a solution not containing ``u`` — but the paper reports (and our Table
+VII bench confirms) that it never hurt solution quality while saving 1-3
+orders of magnitude of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.cores import core_numbers
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class InitializationPlan:
+    """Per-vertex upper bounds and the initialisation order."""
+
+    mu: Dict[Vertex, float]
+    order: List[Vertex]
+    ego_max_weight: Dict[Vertex, float]
+    core_number: Dict[Vertex, int]
+
+    def candidates_above(self, bound: float) -> int:
+        """How many vertices have ``mu_u > bound`` (diagnostics)."""
+        return sum(1 for value in self.mu.values() if value > bound)
+
+
+def ego_max_weights(gd_plus: Graph) -> Dict[Vertex, float]:
+    """``w_u``: max edge weight touching the closed neighbourhood of u.
+
+    ``w_u = max{ D+(i, j) : i in T_u or j in T_u }`` computed as
+    ``max_{v in T_u} (max incident weight of v)`` — every edge of the ego
+    net has an endpoint in ``T_u``, so this dominates the ego net's max
+    edge weight (it is exactly the bound the paper uses).
+    """
+    incident_max: Dict[Vertex, float] = {}
+    for u in gd_plus.vertices():
+        neighbors = gd_plus.neighbors(u)
+        incident_max[u] = max(neighbors.values()) if neighbors else 0.0
+    bounds: Dict[Vertex, float] = {}
+    for u in gd_plus.vertices():
+        best = incident_max[u]
+        for v in gd_plus.neighbors(u):
+            if incident_max[v] > best:
+                best = incident_max[v]
+        bounds[u] = best
+    return bounds
+
+
+def clique_affinity_upper_bound(tau: int, w: float) -> float:
+    """Theorem 6 bound: ``(k-1)/k * w <= tau/(tau+1) * w`` with ``k <= tau+1``."""
+    if tau <= 0 or w <= 0:
+        return 0.0
+    return tau * w / (tau + 1.0)
+
+
+def smart_initialization_plan(gd_plus: Graph) -> InitializationPlan:
+    """Compute ``mu_u`` for every vertex and the descending trial order.
+
+    Ties are broken by weighted degree (denser first) and then by label
+    repr for determinism.
+    """
+    weights = ego_max_weights(gd_plus)
+    cores = core_numbers(gd_plus)
+    mu: Dict[Vertex, float] = {
+        u: clique_affinity_upper_bound(cores.get(u, 0), weights[u])
+        for u in gd_plus.vertices()
+    }
+    order = sorted(
+        gd_plus.vertices(),
+        key=lambda u: (-mu[u], -gd_plus.degree(u), repr(u)),
+    )
+    return InitializationPlan(
+        mu=mu,
+        order=order,
+        ego_max_weight=weights,
+        core_number={u: cores.get(u, 0) for u in gd_plus.vertices()},
+    )

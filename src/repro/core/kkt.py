@@ -1,0 +1,128 @@
+"""KKT condition checks for the DCSGA problem (Eqs. 7, 8, 10, 11).
+
+A point ``x`` on the simplex is a KKT point of ``max x^T D x`` iff
+
+    ``grad_u f(x) = 2 (Dx)_u  { = lambda  if x_u > 0
+                              { <= lambda if x_u = 0      (Eq. 7)
+
+with ``lambda = 2 f(x)``, equivalently
+
+    ``max_{k: x_k < 1} grad_k <= min_{k: x_k > 0} grad_k``  (Eq. 8).
+
+These checkers are used by the test suite (SEACD must return KKT points
+— Theorem 4) and by the SEA baseline to demonstrate that the loose
+convergence condition of [18] does *not* reach local KKT points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class KKTReport:
+    """Diagnostics of a KKT check.
+
+    ``gap`` is ``max_{k: x_k<1} grad_k - min_{k: x_k>0} grad_k``; the
+    point is a KKT point when ``gap <= tol``.  ``lam`` is ``2 f(x)``,
+    which equals every support gradient at an exact KKT point.
+    """
+
+    is_kkt: bool
+    gap: float
+    lam: float
+    max_gradient: float
+    min_support_gradient: float
+
+
+def _gradients(
+    graph: Graph, x: Dict[Vertex, float], candidates: Iterable[Vertex]
+) -> Dict[Vertex, float]:
+    out: Dict[Vertex, float] = {}
+    for k in candidates:
+        total = 0.0
+        for neighbor, weight in graph.neighbors(k).items():
+            xv = x.get(neighbor)
+            if xv is not None:
+                total += weight * xv
+        out[k] = 2.0 * total
+    return out
+
+
+def check_kkt(
+    graph: Graph,
+    x: Dict[Vertex, float],
+    subset: Optional[Set[Vertex]] = None,
+    tol: float = 1e-6,
+) -> KKTReport:
+    """Check the (local) KKT conditions of *x*.
+
+    With ``subset=None`` this is the global condition (Eq. 8) over all of
+    ``V``; vertices with no neighbour in the support have gradient 0 and
+    are handled implicitly.  With a *subset* it is the local condition
+    (Eq. 11) on ``S``.
+    """
+    support = {u for u, w in x.items() if w > 0.0}
+    if not support:
+        raise ValueError("empty embedding has no KKT status")
+
+    objective = 0.0
+    for u, xu in x.items():
+        for v, weight in graph.neighbors(u).items():
+            xv = x.get(v)
+            if xv is not None:
+                objective += xu * xv * weight
+    lam = 2.0 * objective
+
+    if subset is None:
+        candidates: Set[Vertex] = set(support)
+        for u in support:
+            candidates.update(graph.neighbors(u))
+        rest_exists = graph.num_vertices > len(candidates)
+    else:
+        candidates = set(subset)
+        rest_exists = False
+        if not support <= candidates:
+            raise ValueError("support must lie inside the subset")
+
+    grads = _gradients(graph, x, candidates)
+    max_gradient = -math.inf
+    for k, value in grads.items():
+        if x.get(k, 0.0) < 1.0 and value > max_gradient:
+            max_gradient = value
+    if rest_exists:
+        # Vertices with no support neighbour: gradient exactly 0.
+        max_gradient = max(max_gradient, 0.0)
+    min_support_gradient = min(grads[k] for k in support)
+
+    if max_gradient is -math.inf:
+        # Single-vertex universe holding all mass: trivially KKT.
+        return KKTReport(
+            is_kkt=True,
+            gap=-math.inf,
+            lam=lam,
+            max_gradient=-math.inf,
+            min_support_gradient=min_support_gradient,
+        )
+
+    gap = max_gradient - min_support_gradient
+    return KKTReport(
+        is_kkt=gap <= tol,
+        gap=gap,
+        lam=lam,
+        max_gradient=max_gradient,
+        min_support_gradient=min_support_gradient,
+    )
+
+
+def is_kkt_point(
+    graph: Graph,
+    x: Dict[Vertex, float],
+    tol: float = 1e-6,
+) -> bool:
+    """Shorthand for ``check_kkt(...).is_kkt`` on the global condition."""
+    return check_kkt(graph, x, tol=tol).is_kkt

@@ -1,0 +1,120 @@
+"""Synthetic actor collaboration network (Actor substitute).
+
+The paper's Actor dataset is a single collaboration network with
+positive integer weights (number of joint movies), used **directly as a
+difference graph** — Section V-C notes the DCSGA solvers are competitive
+for plain graph-affinity maximisation, and Table II shows the Actor
+rows with ``m- = 0``.
+
+Structural features reproduced:
+
+* heavy-tailed collaboration counts (max weight in the hundreds) with a
+  couple of extremely prolific duos/trios — the Weighted-setting DCSGA
+  finds one of those tiny groups (Table XIV: 3 users, affinity 108.25);
+* several mid-size ensembles with moderate per-pair counts — after the
+  Discrete capping (weights clipped at 10), one of these becomes the
+  DCSGA answer instead (Table XIV: 21 users).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.graph.generators import chung_lu_graph, powerlaw_degree_sequence
+from repro.graph.graph import Graph
+
+
+@dataclass
+class ActorDataset:
+    """Collaboration network plus planted ensembles."""
+
+    graph: Graph
+    prolific_trio: Set[str] = field(default_factory=set)
+    ensembles: List[Set[str]] = field(default_factory=list)
+
+    def weighted_gd(self) -> Graph:
+        """The Weighted setting: the network as-is."""
+        return self.graph
+
+    def discrete_gd(self, cap: float = 10.0) -> Graph:
+        """The Discrete setting: weights above *cap* clipped to *cap*."""
+        from repro.core.difference import cap_weights
+
+        return cap_weights(self.graph, cap)
+
+
+def _actor(index: int) -> str:
+    return f"actor{index:05d}"
+
+
+def actor_network(
+    n_actors: int = 2000,
+    background_mean_degree: float = 8.0,
+    n_ensembles: int = 4,
+    ensemble_size_range: tuple = (15, 25),
+    trio_weight: float = 110.0,
+    seed: int = 0,
+) -> ActorDataset:
+    """Generate the collaboration network.
+
+    Background collaborations follow a Chung-Lu topology with geometric
+    weights (most pairs collaborate once or twice).  Planted structure:
+    one trio with ``trio_weight`` joint movies per pair, and
+    *n_ensembles* cliques with per-pair counts drawn from [8, 20] — heavy
+    enough to win after capping, small enough to lose to the trio before.
+    """
+    rng = random.Random(seed)
+    actors = [_actor(i) for i in range(n_actors)]
+    graph = Graph()
+    graph.add_vertices(actors)
+
+    degrees = powerlaw_degree_sequence(
+        n_actors,
+        exponent=2.2,
+        min_degree=background_mean_degree / 2.0,
+        seed=rng.randrange(1 << 30),
+    )
+
+    def geometric_weight(r: random.Random) -> float:
+        weight = 1
+        while r.random() < 0.45 and weight < 60:
+            weight += 1
+        return float(weight)
+
+    base = chung_lu_graph(
+        degrees, seed=rng.randrange(1 << 30), weight=geometric_weight
+    )
+    for u, v, weight in base.edges():
+        graph.add_edge(actors[u], actors[v], weight)
+
+    shuffled = actors[:]
+    rng.shuffle(shuffled)
+    cursor = 0
+
+    def take(count: int) -> List[str]:
+        nonlocal cursor
+        group = shuffled[cursor : cursor + count]
+        cursor += count
+        return group
+
+    trio = take(3)
+    for i, u in enumerate(trio):
+        for v in trio[i + 1 :]:
+            graph.add_edge(u, v, trio_weight + rng.uniform(-10.0, 10.0))
+
+    ensembles: List[Set[str]] = []
+    for _ in range(n_ensembles):
+        size = rng.randint(*ensemble_size_range)
+        members = take(size)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v, float(rng.randint(8, 20)))
+        ensembles.append(set(members))
+
+    return ActorDataset(
+        graph=graph,
+        prolific_trio=set(trio),
+        ensembles=ensembles,
+    )

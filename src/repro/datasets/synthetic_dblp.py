@@ -1,0 +1,211 @@
+"""Synthetic two-snapshot co-authorship data (DBLP / DBLP-C substitutes).
+
+The paper's DBLP experiments (Tables II-IV, VII-IX, XIV) need two
+co-author graphs over the same authors — collaborations before and after
+a split year — with integer edge weights (paper counts).  The AMiner dump
+is not available offline, so this generator reproduces the structural
+features those experiments exercise:
+
+* a heavy-tailed collaboration background organised in research
+  communities, partially rewired between the two eras (so the difference
+  graph has many small positive *and* negative edges);
+* planted **emerging groups** — cliques collaborating heavily only in the
+  second era (the "UTA Machine Learning" / "CMU Privacy & Security" role);
+* planted **disappearing groups** — heavy only in the first era (the
+  "Japan Robotics" / "Compiler & Software System" role).
+
+Weights are integers so the paper's Discrete setting (quantising the
+collaboration-count difference) behaves exactly as described in
+Section VI-B.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass
+class CoauthorDataset:
+    """Two co-author snapshots plus the planted ground truth."""
+
+    g1: Graph
+    g2: Graph
+    emerging_groups: List[Set[str]] = field(default_factory=list)
+    disappearing_groups: List[Set[str]] = field(default_factory=list)
+
+    @property
+    def authors(self) -> Set[str]:
+        return self.g1.vertex_set()
+
+
+def _author(index: int) -> str:
+    return f"author{index:05d}"
+
+
+def _add_paper(graph: Graph, authors: Sequence[str]) -> None:
+    """One co-authored paper: +1 on every author pair."""
+    for i, u in enumerate(authors):
+        for v in authors[i + 1 :]:
+            if u != v:
+                graph.increment_edge(u, v, 1.0)
+
+
+def _background_papers(
+    g1: Graph,
+    g2: Graph,
+    communities: List[List[str]],
+    papers_per_community: int,
+    era2_share: float,
+    cross_community_rate: float,
+    all_authors: List[str],
+    rng: random.Random,
+) -> None:
+    for community in communities:
+        for _ in range(papers_per_community):
+            team_size = rng.choice((2, 2, 3, 3, 4, 5))
+            team = rng.sample(community, min(team_size, len(community)))
+            if rng.random() < cross_community_rate:
+                team.append(rng.choice(all_authors))
+            target = g2 if rng.random() < era2_share else g1
+            _add_paper(target, list(dict.fromkeys(team)))
+
+
+def _plant_group(
+    hot_graph: Graph,
+    cold_graph: Graph,
+    members: Sequence[str],
+    hot_papers: int,
+    cold_papers: int,
+    rng: random.Random,
+) -> None:
+    """Make *members* collaborate heavily in one era, barely in the other."""
+    members = list(members)
+    for _ in range(hot_papers):
+        size = rng.randint(2, len(members))
+        _add_paper(hot_graph, rng.sample(members, size))
+    for _ in range(cold_papers):
+        _add_paper(cold_graph, rng.sample(members, 2))
+    # Guarantee the full group forms a clique in the hot era: one big
+    # jointly-authored survey.
+    _add_paper(hot_graph, members)
+
+
+def coauthor_snapshots(
+    n_authors: int = 800,
+    n_communities: int = 40,
+    papers_per_community: int = 25,
+    n_emerging: int = 3,
+    n_disappearing: int = 3,
+    group_size_range: Tuple[int, int] = (4, 8),
+    hot_papers: int = 25,
+    cold_papers: int = 2,
+    era2_share: float = 0.5,
+    cross_community_rate: float = 0.15,
+    seed: int = 0,
+) -> CoauthorDataset:
+    """Generate a DBLP-style dataset with planted contrast groups.
+
+    Parameters mirror the narrative knobs: *hot_papers* controls how
+    strong the planted density contrast is; *era2_share* balances the
+    background between eras (0.5 keeps the global difference near zero,
+    so planted groups dominate the contrast).
+    """
+    rng = random.Random(seed)
+    authors = [_author(i) for i in range(n_authors)]
+    g1, g2 = Graph(), Graph()
+    g1.add_vertices(authors)
+    g2.add_vertices(authors)
+
+    # Random community sizes summing to n_authors.
+    shuffled = authors[:]
+    rng.shuffle(shuffled)
+    communities: List[List[str]] = [[] for _ in range(n_communities)]
+    for index, author in enumerate(shuffled):
+        communities[index % n_communities].append(author)
+
+    _background_papers(
+        g1,
+        g2,
+        communities,
+        papers_per_community,
+        era2_share,
+        cross_community_rate,
+        authors,
+        rng,
+    )
+
+    # Planted groups draw from distinct communities so they do not overlap.
+    pool = [c for c in communities if len(c) >= group_size_range[1]]
+    rng.shuffle(pool)
+    needed = n_emerging + n_disappearing
+    if len(pool) < needed:
+        raise ValueError(
+            "not enough sufficiently large communities to plant groups; "
+            "increase n_authors or lower n_communities"
+        )
+
+    emerging_groups: List[Set[str]] = []
+    disappearing_groups: List[Set[str]] = []
+    for index in range(needed):
+        community = pool[index]
+        size = rng.randint(*group_size_range)
+        members = rng.sample(community, size)
+        if index < n_emerging:
+            _plant_group(g2, g1, members, hot_papers, cold_papers, rng)
+            emerging_groups.append(set(members))
+        else:
+            _plant_group(g1, g2, members, hot_papers, cold_papers, rng)
+            disappearing_groups.append(set(members))
+
+    return CoauthorDataset(
+        g1=g1,
+        g2=g2,
+        emerging_groups=emerging_groups,
+        disappearing_groups=disappearing_groups,
+    )
+
+
+def dblp_c_snapshots(
+    n_authors: int = 4000,
+    n_communities: int = 160,
+    papers_per_community: int = 30,
+    seed: int = 7,
+) -> CoauthorDataset:
+    """The larger *DBLP-C* variant used for efficiency experiments.
+
+    Same structure as :func:`coauthor_snapshots`, scaled up, with a pair
+    of extreme collaborators planted so the Weighted-setting DCSGA is a
+    tiny (2-vertex) subgraph exactly as in Table XIV, plus one heavier
+    mid-size group that the Discrete setting surfaces instead.
+    """
+    dataset = coauthor_snapshots(
+        n_authors=n_authors,
+        n_communities=n_communities,
+        papers_per_community=papers_per_community,
+        n_emerging=4,
+        n_disappearing=4,
+        hot_papers=30,
+        seed=seed,
+    )
+    rng = random.Random(seed + 1)
+    authors = sorted(dataset.authors)
+    # The prolific duo: a huge number of joint papers only in era 2.
+    duo = rng.sample(authors, 2)
+    dataset.g2.increment_edge(duo[0], duo[1], 200.0)
+    dataset.emerging_groups.append(set(duo))
+    return dataset
+
+
+def community_index(dataset: CoauthorDataset) -> Dict[str, int]:
+    """Map each planted-group author to its group id (diagnostics)."""
+    index: Dict[str, int] = {}
+    for gid, group in enumerate(
+        dataset.emerging_groups + dataset.disappearing_groups
+    ):
+        for author in group:
+            index[author] = gid
+    return index

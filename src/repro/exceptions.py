@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Structural error on a graph (missing vertex, bad edge, ...)."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Self loops are not allowed: affinity matrices have zero diagonals."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class EmbeddingError(ReproError, ValueError):
+    """A subgraph embedding violates the simplex constraints."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver exhausted its iteration budget before converging."""
+
+    def __init__(self, message: str, iterations: int) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class InputMismatchError(ReproError, ValueError):
+    """Two inputs that must agree (e.g. vertex sets of G1 and G2) do not."""

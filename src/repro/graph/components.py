@@ -1,0 +1,88 @@
+"""Connected components of (signed) weighted graphs.
+
+Both DCS problems prefer connected subgraphs in the difference graph
+(Properties 1 and 2 of the paper); line 9 of Algorithm 2 keeps only the
+densest connected component of the greedy solution.  Connectivity here is
+with respect to *nonzero* edges — an edge with negative weight still
+connects its endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.graph.graph import Graph, Vertex
+
+
+def connected_components(
+    graph: Graph, subset: Optional[Iterable[Vertex]] = None
+) -> List[Set[Vertex]]:
+    """Connected components of ``graph`` (or of the induced ``G(S)``).
+
+    Returns a list of vertex sets, ordered by first-visited vertex.  An
+    iterative DFS is used so deep paths cannot overflow the recursion
+    stack on large graphs.
+    """
+    if subset is None:
+        members = graph.vertex_set()
+    else:
+        members = set(subset)
+    components: List[Set[Vertex]] = []
+    unvisited = set(members)
+    for start in members:
+        if start not in unvisited:
+            continue
+        component: Set[Vertex] = set()
+        stack = [start]
+        unvisited.discard(start)
+        while stack:
+            vertex = stack.pop()
+            component.add(vertex)
+            for neighbor in graph.neighbors(vertex):
+                if neighbor in unvisited:
+                    unvisited.discard(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph, subset: Optional[Iterable[Vertex]] = None) -> bool:
+    """Whether the (induced) graph is connected.
+
+    The empty graph is vacuously connected; a single vertex is connected.
+    """
+    if subset is None:
+        members = graph.vertex_set()
+    else:
+        members = set(subset)
+    if len(members) <= 1:
+        return True
+    start = next(iter(members))
+    seen = {start}
+    stack = [start]
+    while stack:
+        vertex = stack.pop()
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in members and neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == len(members)
+
+
+def densest_component(graph: Graph, subset: Iterable[Vertex]) -> Set[Vertex]:
+    """The component of ``G(S)`` maximising average degree ``W(S')/|S'|``.
+
+    This is line 9 of Algorithm 2: when the greedy solution is
+    disconnected, one of its components is at least as dense (Property 1),
+    so return the best one.  Ties keep the first-found component.
+    """
+    components = connected_components(graph, subset)
+    if not components:
+        raise ValueError("cannot pick the densest component of an empty set")
+    best = components[0]
+    best_density = graph.total_degree(best) / len(best)
+    for component in components[1:]:
+        density = graph.total_degree(component) / len(component)
+        if density > best_density:
+            best, best_density = component, density
+    return best

@@ -1,0 +1,327 @@
+"""Random and deterministic graph generators.
+
+These are the building blocks of the synthetic datasets
+(:mod:`repro.datasets`) and of the randomised test suite.  All generators
+take an explicit integer ``seed`` (or a ``random.Random``) and are fully
+deterministic given it.
+
+Weights: generators that create weighted graphs accept a ``weight``
+callable ``rng -> float`` so callers control the weight distribution,
+including signed distributions for direct difference-graph synthesis.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.graph.graph import Graph, Vertex
+
+RandomLike = Union[int, random.Random, None]
+WeightFn = Optional[Callable[[random.Random], float]]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _weight_of(weight: WeightFn, rng: random.Random) -> float:
+    return 1.0 if weight is None else weight(rng)
+
+
+# ----------------------------------------------------------------------
+# deterministic families
+# ----------------------------------------------------------------------
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """K_n with uniform edge *weight* over vertices ``0..n-1``."""
+    graph = Graph()
+    graph.add_vertices(range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def path_graph(n: int, weight: float = 1.0) -> Graph:
+    """P_n: vertices ``0..n-1`` joined in a path."""
+    graph = Graph()
+    graph.add_vertices(range(n))
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1, weight)
+    return graph
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """C_n (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    graph = path_graph(n, weight)
+    graph.add_edge(n - 1, 0, weight)
+    return graph
+
+
+def star_graph(n_leaves: int, weight: float = 1.0) -> Graph:
+    """A star: hub ``0`` joined to leaves ``1..n_leaves``."""
+    graph = Graph()
+    graph.add_vertex(0)
+    for leaf in range(1, n_leaves + 1):
+        graph.add_edge(0, leaf, weight)
+    return graph
+
+
+def barbell_graph(k: int, bridge_length: int = 1, weight: float = 1.0) -> Graph:
+    """Two K_k cliques joined by a path of *bridge_length* edges.
+
+    ``bridge_length = 1`` joins the cliques directly; larger values
+    insert ``bridge_length - 1`` intermediate vertices, so the graph has
+    ``2k + bridge_length - 1`` vertices numbered contiguously.  A classic
+    adversarial input for average-degree style objectives (two dense
+    cores, sparse connector).
+    """
+    if k < 2:
+        raise ValueError("cliques need at least 2 vertices")
+    if bridge_length < 1:
+        raise ValueError("bridge needs at least one edge")
+    graph = Graph()
+    left = list(range(k))
+    intermediates = list(range(k, k + bridge_length - 1))
+    right = list(range(k + bridge_length - 1, 2 * k + bridge_length - 1))
+    for group in (left, right):
+        for u, v in itertools.combinations(group, 2):
+            graph.add_edge(u, v, weight)
+    chain = [left[-1]] + intermediates + [right[0]]
+    for u, v in zip(chain, chain[1:]):
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def gnp_graph(
+    n: int,
+    p: float,
+    seed: RandomLike = None,
+    weight: WeightFn = None,
+) -> Graph:
+    """Erdos-Renyi G(n, p) with optional random weights.
+
+    Uses the geometric skipping trick so the cost is proportional to the
+    number of edges generated, not ``n^2``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = _rng(seed)
+    graph = Graph()
+    graph.add_vertices(range(n))
+    if p == 0.0:
+        return graph
+    if p == 1.0:
+        for u, v in itertools.combinations(range(n), 2):
+            graph.add_edge(u, v, _weight_of(weight, rng))
+        return graph
+    log_q = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w, _weight_of(weight, rng))
+    return graph
+
+
+def gnm_graph(
+    n: int,
+    m: int,
+    seed: RandomLike = None,
+    weight: WeightFn = None,
+) -> Graph:
+    """Uniform random graph with exactly *m* distinct edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds max possible edges {max_edges}")
+    rng = _rng(seed)
+    graph = Graph()
+    graph.add_vertices(range(n))
+    # Rejection sampling is fine while m is well below max_edges; fall back
+    # to explicit enumeration when the graph is dense.
+    if m > max_edges // 2:
+        pairs = list(itertools.combinations(range(n), 2))
+        rng.shuffle(pairs)
+        for u, v in pairs[:m]:
+            graph.add_edge(u, v, _weight_of(weight, rng))
+        return graph
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, _weight_of(weight, rng))
+        added += 1
+    return graph
+
+
+def chung_lu_graph(
+    expected_degrees: Sequence[float],
+    seed: RandomLike = None,
+    weight: WeightFn = None,
+) -> Graph:
+    """Chung-Lu random graph with given expected degree sequence.
+
+    Edge ``(u, v)`` appears with probability
+    ``min(1, d_u * d_v / sum(d))`` — the standard model for heavy-tailed
+    collaboration-style networks.
+    """
+    rng = _rng(seed)
+    n = len(expected_degrees)
+    total = float(sum(expected_degrees))
+    graph = Graph()
+    graph.add_vertices(range(n))
+    if total <= 0:
+        return graph
+    # Sort descending so the skipping loop terminates early on light tails.
+    order = sorted(range(n), key=lambda u: -expected_degrees[u])
+    weights = [expected_degrees[u] for u in order]
+    for i in range(n - 1):
+        if weights[i] == 0:
+            break
+        for j in range(i + 1, n):
+            p = min(1.0, weights[i] * weights[j] / total)
+            if p == 0.0:
+                break
+            if rng.random() < p:
+                graph.add_edge(order[i], order[j], _weight_of(weight, rng))
+    return graph
+
+
+def powerlaw_degree_sequence(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: float = 1.0,
+    max_degree: Optional[float] = None,
+    seed: RandomLike = None,
+) -> List[float]:
+    """Sample expected degrees from a (truncated) Pareto distribution."""
+    if exponent <= 1.0:
+        raise ValueError("exponent must exceed 1")
+    rng = _rng(seed)
+    cap = max_degree if max_degree is not None else math.sqrt(n) * min_degree
+    alpha = exponent - 1.0
+    degrees = []
+    for _ in range(n):
+        value = min_degree * (1.0 - rng.random()) ** (-1.0 / alpha)
+        degrees.append(min(value, cap))
+    return degrees
+
+
+def planted_clique_graph(
+    n: int,
+    clique_size: int,
+    p: float,
+    seed: RandomLike = None,
+    clique_weight: float = 1.0,
+    background_weight: WeightFn = None,
+) -> Graph:
+    """G(n, p) with a planted clique on vertices ``0..clique_size-1``.
+
+    The planted edges get *clique_weight*; the background follows
+    *background_weight* (default unit).  Standard testbed for dense
+    subgraph recovery.
+    """
+    if clique_size > n:
+        raise ValueError("clique cannot exceed the graph size")
+    rng = _rng(seed)
+    graph = gnp_graph(n, p, rng, background_weight)
+    for u, v in itertools.combinations(range(clique_size), 2):
+        graph.add_edge(u, v, clique_weight)
+    return graph
+
+
+def planted_partition_graph(
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: RandomLike = None,
+    weight_in: WeightFn = None,
+    weight_out: WeightFn = None,
+) -> Graph:
+    """Stochastic block model with intra/inter probabilities.
+
+    Vertices are numbered consecutively block by block; the block of a
+    vertex can be recovered from the returned ``blocks`` attribute of the
+    graph? — no hidden state: use :func:`partition_blocks` to recompute.
+    """
+    rng = _rng(seed)
+    n = sum(sizes)
+    graph = Graph()
+    graph.add_vertices(range(n))
+    block_of: List[int] = []
+    for index, size in enumerate(sizes):
+        block_of.extend([index] * size)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = block_of[u] == block_of[v]
+            p = p_in if same else p_out
+            if rng.random() < p:
+                fn = weight_in if same else weight_out
+                graph.add_edge(u, v, _weight_of(fn, rng))
+    return graph
+
+
+def partition_blocks(sizes: Sequence[int]) -> List[List[int]]:
+    """Vertex ids of each block for :func:`planted_partition_graph`."""
+    blocks: List[List[int]] = []
+    start = 0
+    for size in sizes:
+        blocks.append(list(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def random_signed_graph(
+    n: int,
+    p: float,
+    positive_fraction: float = 0.5,
+    seed: RandomLike = None,
+    magnitude: WeightFn = None,
+) -> Graph:
+    """G(n, p) whose weights are signed at random — a synthetic ``GD``.
+
+    Each edge gets magnitude from *magnitude* (default ``U(0.5, 2)``) and
+    is positive with probability *positive_fraction*.
+    """
+    rng = _rng(seed)
+
+    def signed(r: random.Random) -> float:
+        size = magnitude(r) if magnitude is not None else r.uniform(0.5, 2.0)
+        return size if r.random() < positive_fraction else -size
+
+    return gnp_graph(n, p, rng, signed)
+
+
+def random_spanning_tree(
+    vertices: Sequence[Vertex],
+    seed: RandomLike = None,
+    weight: WeightFn = None,
+) -> Graph:
+    """A uniform-ish random tree (random attachment) over *vertices*.
+
+    Used by dataset generators to guarantee planted groups are connected.
+    """
+    rng = _rng(seed)
+    graph = Graph()
+    graph.add_vertices(vertices)
+    items = list(vertices)
+    rng.shuffle(items)
+    for i in range(1, len(items)):
+        parent = items[rng.randrange(i)]
+        graph.add_edge(items[i], parent, _weight_of(weight, rng))
+    return graph

@@ -1,0 +1,146 @@
+"""Edge-list serialisation for graphs.
+
+A minimal, dependency-free text format::
+
+    # comment lines start with '#'
+    u v weight
+
+Vertex labels are written with ``repr``-free plain text: any token not
+containing whitespace.  Labels round-trip as strings; callers who need
+typed labels (e.g. ints) pass a *parser*.  Weighted pair-graph inputs for
+the DCS problem can be stored as two files sharing a vertex universe.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Optional, TextIO, Tuple, Union
+
+from repro.exceptions import InputMismatchError
+from repro.graph.graph import Graph, Vertex
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_edge_list(
+    graph: Graph,
+    destination: Union[PathLike, TextIO],
+    include_isolated: bool = True,
+) -> None:
+    """Write *graph* as ``u v weight`` lines.
+
+    Isolated vertices are written as ``u`` alone when *include_isolated*
+    so the vertex universe survives a round trip.
+    """
+    if hasattr(destination, "write"):
+        _write_stream(graph, destination, include_isolated)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as stream:
+        _write_stream(graph, stream, include_isolated)
+
+
+def _token(vertex: Vertex) -> str:
+    text = str(vertex)
+    if not text or any(ch.isspace() for ch in text):
+        raise InputMismatchError(
+            f"vertex label {vertex!r} cannot be serialised: "
+            "labels must be non-empty and contain no whitespace"
+        )
+    return text
+
+
+def _write_stream(graph: Graph, stream: TextIO, include_isolated: bool) -> None:
+    stream.write("# repro edge list: u v weight\n")
+    touched = set()
+    for u, v, weight in graph.edges():
+        stream.write(f"{_token(u)} {_token(v)} {weight!r}\n")
+        touched.add(u)
+        touched.add(v)
+    if include_isolated:
+        for vertex in graph.vertices():
+            if vertex not in touched:
+                stream.write(f"{_token(vertex)}\n")
+
+
+def read_edge_list(
+    source: Union[PathLike, TextIO],
+    parser: Optional[Callable[[str], Vertex]] = None,
+) -> Graph:
+    """Parse a graph written by :func:`write_edge_list`.
+
+    *parser* converts label tokens (default: keep as ``str``).  Lines with
+    a single token declare isolated vertices; malformed lines raise
+    :class:`~repro.exceptions.InputMismatchError` with the line number.
+    """
+    if hasattr(source, "read"):
+        return _read_stream(source, parser)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as stream:
+        return _read_stream(stream, parser)
+
+
+def _read_stream(
+    stream: TextIO, parser: Optional[Callable[[str], Vertex]]
+) -> Graph:
+    convert = parser if parser is not None else (lambda token: token)
+    graph = Graph()
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            graph.add_vertex(convert(parts[0]))
+        elif len(parts) == 3:
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                raise InputMismatchError(
+                    f"line {lineno}: bad weight {parts[2]!r}"
+                ) from None
+            graph.add_edge(convert(parts[0]), convert(parts[1]), weight)
+        else:
+            raise InputMismatchError(
+                f"line {lineno}: expected 'u v weight' or 'u', got {line!r}"
+            )
+    return graph
+
+
+def write_pair(
+    g1: Graph,
+    g2: Graph,
+    path_g1: PathLike,
+    path_g2: PathLike,
+) -> None:
+    """Write a DCS input pair, validating that vertex sets agree."""
+    if g1.vertex_set() != g2.vertex_set():
+        raise InputMismatchError("G1 and G2 must share the same vertex set")
+    write_edge_list(g1, path_g1)
+    write_edge_list(g2, path_g2)
+
+
+def read_pair(
+    path_g1: PathLike,
+    path_g2: PathLike,
+    parser: Optional[Callable[[str], Vertex]] = None,
+) -> Tuple[Graph, Graph]:
+    """Read a DCS input pair, aligning vertex universes.
+
+    Vertices present in only one file are added (isolated) to the other,
+    since the DCS formulation requires a shared vertex set.
+    """
+    g1 = read_edge_list(path_g1, parser)
+    g2 = read_edge_list(path_g2, parser)
+    for vertex in g1.vertices():
+        g2.add_vertex(vertex)
+    for vertex in g2.vertices():
+        g1.add_vertex(vertex)
+    return g1, g2
+
+
+def edges_sorted(graph: Graph) -> Iterable[Tuple[str, str, float]]:
+    """Deterministically ordered edge triples (for golden-file tests)."""
+    triples = []
+    for u, v, weight in graph.edges():
+        a, b = sorted((str(u), str(v)))
+        triples.append((a, b, weight))
+    return sorted(triples)

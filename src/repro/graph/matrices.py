@@ -1,0 +1,113 @@
+"""Conversions between graphs and (dense) affinity matrices.
+
+The DCSGA formulation works with the affinity matrix ``D`` of the
+difference graph (``f_D(x) = x^T D x``).  The iterative solvers use sparse
+adjacency directly, but the exact small-graph oracles, the KKT checker and
+several tests want the dense symmetric matrix.  These helpers keep the
+vertex <-> index correspondence explicit so results can be mapped back to
+vertex labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InputMismatchError
+from repro.graph.graph import Graph, Vertex
+
+
+def affinity_matrix(
+    graph: Graph, order: Sequence[Vertex] | None = None
+) -> Tuple[np.ndarray, List[Vertex]]:
+    """Dense symmetric affinity matrix of *graph*.
+
+    Returns ``(matrix, order)`` where ``matrix[i, j]`` is the weight of the
+    edge between ``order[i]`` and ``order[j]`` (0 when absent; diagonal is
+    always 0).  If *order* is omitted, vertices are sorted by their repr
+    for determinism.
+    """
+    if order is None:
+        vertices = sorted(graph.vertices(), key=repr)
+    else:
+        vertices = list(order)
+        if set(vertices) != graph.vertex_set():
+            raise InputMismatchError(
+                "order must contain exactly the graph's vertices"
+            )
+    index = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    matrix = np.zeros((n, n), dtype=float)
+    for u, v, weight in graph.edges():
+        i, j = index[u], index[v]
+        matrix[i, j] = weight
+        matrix[j, i] = weight
+    return matrix, vertices
+
+
+def graph_from_affinity(
+    matrix: np.ndarray,
+    labels: Sequence[Vertex] | None = None,
+    atol: float = 0.0,
+) -> Graph:
+    """Build a :class:`Graph` from a symmetric affinity matrix.
+
+    Entries with ``abs(value) <= atol`` are treated as absent edges.  The
+    diagonal must be zero and the matrix symmetric (within ``1e-12``).
+    """
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise InputMismatchError("affinity matrix must be square")
+    if not np.allclose(array, array.T, atol=1e-12):
+        raise InputMismatchError("affinity matrix must be symmetric")
+    if np.any(np.abs(np.diag(array)) > 1e-12):
+        raise InputMismatchError("affinity matrix must have a zero diagonal")
+    n = array.shape[0]
+    if labels is None:
+        names: List[Vertex] = list(range(n))
+    else:
+        names = list(labels)
+        if len(names) != n:
+            raise InputMismatchError("labels length must match matrix size")
+    graph = Graph()
+    graph.add_vertices(names)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = array[i, j]
+            if abs(value) > atol:
+                graph.add_edge(names[i], names[j], float(value))
+    return graph
+
+
+def embedding_to_vector(
+    embedding: Mapping[Vertex, float], order: Sequence[Vertex]
+) -> np.ndarray:
+    """Densify a sparse embedding onto the index order of a matrix."""
+    index: Dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+    vector = np.zeros(len(order), dtype=float)
+    for vertex, value in embedding.items():
+        if vertex not in index:
+            raise InputMismatchError(
+                f"embedding vertex {vertex!r} not present in order"
+            )
+        vector[index[vertex]] = value
+    return vector
+
+
+def vector_to_embedding(
+    vector: np.ndarray, order: Sequence[Vertex], tol: float = 0.0
+) -> Dict[Vertex, float]:
+    """Sparsify a dense simplex vector back to ``{vertex: weight}``.
+
+    Entries with value ``<= tol`` are dropped (they are outside the
+    support set ``Sx``).
+    """
+    array = np.asarray(vector, dtype=float)
+    if array.shape != (len(order),):
+        raise InputMismatchError("vector length must match order length")
+    return {
+        vertex: float(value)
+        for vertex, value in zip(order, array)
+        if value > tol
+    }

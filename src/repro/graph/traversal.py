@@ -1,0 +1,129 @@
+"""Graph traversal primitives: BFS layers, k-hop neighbourhoods, Dijkstra.
+
+The Douban pipeline computes interest similarity only for pairs within
+two hops (Section B.2); :func:`k_hop_neighborhood` generalises that.
+Dijkstra (positive weights) supports analysis utilities and tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import VertexNotFound
+from repro.graph.graph import Graph, Vertex
+
+
+def bfs_layers(graph: Graph, source: Vertex) -> Iterator[Set[Vertex]]:
+    """Yield BFS layers: ``{source}``, its neighbours, and so on.
+
+    Edge weights (and signs) are ignored — only adjacency matters, which
+    is what 2-hop constructions use.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFound(source)
+    seen = {source}
+    layer = {source}
+    while layer:
+        yield layer
+        next_layer: Set[Vertex] = set()
+        for u in layer:
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    next_layer.add(v)
+        layer = next_layer
+
+
+def hop_distances(
+    graph: Graph, source: Vertex, max_hops: Optional[int] = None
+) -> Dict[Vertex, int]:
+    """Unweighted hop distance from *source* (up to *max_hops*)."""
+    distances: Dict[Vertex, int] = {}
+    for depth, layer in enumerate(bfs_layers(graph, source)):
+        if max_hops is not None and depth > max_hops:
+            break
+        for vertex in layer:
+            distances[vertex] = depth
+    return distances
+
+
+def k_hop_neighborhood(
+    graph: Graph, source: Vertex, k: int, include_source: bool = True
+) -> Set[Vertex]:
+    """All vertices within *k* hops of *source*.
+
+    ``k = 1`` is the closed neighbourhood (the paper's ego net ``T_u``
+    when *include_source*); ``k = 2`` is the Douban candidate set.
+    """
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    members = set(hop_distances(graph, source, max_hops=k))
+    if not include_source:
+        members.discard(source)
+    return members
+
+
+def pairs_within_hops(graph: Graph, k: int) -> Set[Tuple[Vertex, Vertex]]:
+    """Unordered pairs at hop distance ``1..k`` of each other.
+
+    Generalises :func:`repro.datasets.synthetic_douban.two_hop_pairs`
+    (which is the hand-optimised ``k = 2`` special case).
+    """
+    pairs: Set[Tuple[Vertex, Vertex]] = set()
+    for u in graph.vertices():
+        for v in k_hop_neighborhood(graph, u, k, include_source=False):
+            pair = (u, v) if repr(u) < repr(v) else (v, u)
+            pairs.add(pair)
+    return pairs
+
+
+def dijkstra(
+    graph: Graph, source: Vertex, target: Optional[Vertex] = None
+) -> Dict[Vertex, float]:
+    """Weighted shortest-path distances (requires positive weights).
+
+    Stops early when *target* is settled.  Raises ``ValueError`` on a
+    nonpositive edge weight (run on ``GD+`` or a plain weighted graph,
+    never a signed difference graph).
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFound(source)
+    distances: Dict[Vertex, float] = {}
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        dist, _, u = heapq.heappop(heap)
+        if u in distances:
+            continue
+        distances[u] = dist
+        if target is not None and u == target:
+            break
+        for v, weight in graph.neighbors(u).items():
+            if weight <= 0:
+                raise ValueError(
+                    "dijkstra requires positive edge weights"
+                )
+            if v not in distances:
+                counter += 1
+                heapq.heappush(heap, (dist + weight, counter, v))
+    return distances
+
+
+def eccentricity(graph: Graph, source: Vertex) -> int:
+    """Max hop distance from *source* to any reachable vertex."""
+    return max(hop_distances(graph, source).values())
+
+
+def diameter(graph: Graph) -> int:
+    """Max eccentricity over the graph (0 for empty/singleton graphs).
+
+    Requires a connected graph to be meaningful; on disconnected graphs
+    the per-component maximum is returned.
+    """
+    best = 0
+    for u in graph.vertices():
+        best = max(best, eccentricity(graph, u))
+    return best

@@ -1,0 +1,143 @@
+"""Read-only induced-subgraph views.
+
+:meth:`repro.graph.graph.Graph.subgraph` copies the induced subgraph; for
+large graphs the analysis code often only needs to *read* ``G(S)``
+(densities, degrees, clique checks).  :class:`SubgraphView` provides that
+without copying: it filters the parent's adjacency on the fly.
+
+The view exposes the read-only subset of the :class:`Graph` protocol used
+by :mod:`repro.analysis.metrics`, :mod:`repro.graph.components` and
+:mod:`repro.graph.cliques`, so those functions accept either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import VertexNotFound
+from repro.graph.graph import Edge, Graph, Vertex
+
+
+class _FilteredNeighbors(Mapping[Vertex, float]):
+    """Lazy ``neighbor -> weight`` mapping restricted to a vertex subset."""
+
+    __slots__ = ("_base", "_members")
+
+    def __init__(self, base: Mapping[Vertex, float], members: Set[Vertex]):
+        self._base = base
+        self._members = members
+
+    def __getitem__(self, vertex: Vertex) -> float:
+        if vertex in self._members:
+            return self._base[vertex]
+        raise KeyError(vertex)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return (v for v in self._base if v in self._members)
+
+    def __len__(self) -> int:
+        return sum(1 for v in self._base if v in self._members)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._members and vertex in self._base
+
+    def get(self, vertex: Vertex, default: float = 0.0) -> float:  # type: ignore[override]
+        if vertex in self._members:
+            return self._base.get(vertex, default)
+        return default
+
+
+class SubgraphView:
+    """A read-only view of ``G(S)`` sharing storage with the parent graph.
+
+    Mutating the parent graph while a view is alive gives undefined
+    results, mirroring the usual dict-view semantics.
+    """
+
+    __slots__ = ("_graph", "_members")
+
+    def __init__(self, graph: Graph, subset: Iterable[Vertex]) -> None:
+        self._graph = graph
+        self._members = set(subset)
+        for vertex in self._members:
+            if not graph.has_vertex(vertex):
+                raise VertexNotFound(vertex)
+
+    # ------------------------------------------------------------------
+    # protocol mirrored from Graph (read-only subset)
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._members
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._members)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._members
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return (
+            u in self._members
+            and v in self._members
+            and self._graph.has_edge(u, v)
+        )
+
+    def weight(self, u: Vertex, v: Vertex, default: float = 0.0) -> float:
+        if u in self._members and v in self._members:
+            return self._graph.weight(u, v, default)
+        return default
+
+    def neighbors(self, vertex: Vertex) -> Mapping[Vertex, float]:
+        if vertex not in self._members:
+            raise VertexNotFound(vertex)
+        return _FilteredNeighbors(self._graph.neighbors(vertex), self._members)
+
+    def degree(self, vertex: Vertex) -> float:
+        return sum(self.neighbors(vertex).values())
+
+    def unweighted_degree(self, vertex: Vertex) -> int:
+        return len(self.neighbors(vertex))
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._members)
+
+    def vertex_set(self) -> Set[Vertex]:
+        return set(self._members)
+
+    def edges(self) -> Iterator[Edge]:
+        seen: Set[Vertex] = set()
+        for u in self._members:
+            for v, weight in self._graph.neighbors(u).items():
+                if v in self._members and v not in seen:
+                    yield u, v, weight
+            seen.add(u)
+
+    def total_weight(self) -> float:
+        return sum(weight for _, _, weight in self.edges())
+
+    def total_degree(self, subset: Optional[Iterable[Vertex]] = None) -> float:
+        if subset is None:
+            return 2.0 * self.total_weight()
+        members = set(subset)
+        if not members <= self._members:
+            missing = next(iter(members - self._members))
+            raise VertexNotFound(missing)
+        return self._graph.total_degree(members)
+
+    def materialize(self) -> Graph:
+        """Copy the view into an independent :class:`Graph`."""
+        return self._graph.subgraph(self._members)
+
+    def __repr__(self) -> str:
+        return f"<SubgraphView n={len(self._members)}>"

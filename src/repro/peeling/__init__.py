@@ -1,0 +1,5 @@
+"""Greedy peeling (Algorithm 1): Charikar's greedy on signed weights."""
+
+from repro.peeling.greedy import Backend, PeelResult, greedy_peel, peel_density_profile
+
+__all__ = ["Backend", "PeelResult", "greedy_peel", "peel_density_profile"]

@@ -1,0 +1,91 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used to maintain connected components when refining DCSAD solutions
+(line 9 of Algorithm 2 keeps the densest connected component) and by the
+synthetic dataset generators to guarantee connectivity of planted
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSets:
+    """Union-find over arbitrary hashable items.
+
+    Items are added lazily on first use, so callers never pre-register the
+    universe.
+    """
+
+    __slots__ = ("_parent", "_size", "_count")
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        """Number of items registered (not the number of sets)."""
+        return len(self._parent)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    @property
+    def set_count(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def add(self, item: T) -> None:
+        """Register *item* as a singleton set if it is new."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            self._count += 1
+
+    def find(self, item: T) -> T:
+        """Return the canonical representative of *item*'s set."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> bool:
+        """Merge the sets of *a* and *b*; return True if they were distinct."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: T, b: T) -> bool:
+        """Whether *a* and *b* are in the same set."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def size_of(self, item: T) -> int:
+        """Size of the set containing *item*."""
+        return self._size[self.find(item)]
+
+    def sets(self) -> Iterator[List[T]]:
+        """Yield every set as a list of its members."""
+        groups: Dict[T, List[T]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        yield from groups.values()

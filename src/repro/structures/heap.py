@@ -1,0 +1,184 @@
+"""Addressable binary heap with arbitrary key updates.
+
+The greedy peeling algorithm (Algorithm 1 of the paper) repeatedly removes
+the vertex of minimum induced degree.  Removing a vertex changes the
+degrees of its neighbours — and because difference graphs carry *negative*
+edge weights, a neighbour's degree may **increase** as well as decrease.
+A plain ``heapq`` only supports lazy deletion; this module provides an
+indexed heap where any item's key can be raised or lowered in
+``O(log n)``.
+
+Example
+-------
+>>> h = IndexedHeap()
+>>> h.push("a", 3.0)
+>>> h.push("b", 1.0)
+>>> h.update("a", 0.5)
+>>> h.pop_min()
+('a', 0.5)
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class IndexedHeap(Generic[T]):
+    """A min-heap keyed by arbitrary hashable items with updatable priorities.
+
+    Supports ``push``, ``pop_min``, ``peek_min``, ``update`` (raise *or*
+    lower a key), ``remove`` and membership tests, all in ``O(log n)``
+    except membership which is ``O(1)``.
+    """
+
+    __slots__ = ("_items", "_keys", "_pos")
+
+    def __init__(self, pairs: Iterable[Tuple[T, float]] = ()) -> None:
+        self._items: list[T] = []
+        self._keys: list[float] = []
+        self._pos: dict[T, int] = {}
+        for item, key in pairs:
+            self.push(item, key)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._pos
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate over items in *heap order* (not sorted order)."""
+        return iter(self._items)
+
+    def key_of(self, item: T) -> float:
+        """Return the current key of *item*.
+
+        Raises ``KeyError`` if the item is not in the heap.
+        """
+        return self._keys[self._pos[item]]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def push(self, item: T, key: float) -> None:
+        """Insert *item* with priority *key*.
+
+        Raises ``ValueError`` if the item is already present; use
+        :meth:`update` to change an existing key.
+        """
+        if item in self._pos:
+            raise ValueError(f"item {item!r} already in heap")
+        self._items.append(item)
+        self._keys.append(key)
+        self._pos[item] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def update(self, item: T, key: float) -> None:
+        """Change the priority of *item* to *key* (raise or lower)."""
+        i = self._pos[item]
+        old = self._keys[i]
+        if key == old:
+            return
+        self._keys[i] = key
+        if key < old:
+            self._sift_up(i)
+        else:
+            self._sift_down(i)
+
+    def adjust(self, item: T, delta: float) -> None:
+        """Add *delta* to the current key of *item*."""
+        self.update(item, self.key_of(item) + delta)
+
+    def push_or_update(self, item: T, key: float) -> None:
+        """Insert *item* or, if present, reset its priority to *key*."""
+        if item in self._pos:
+            self.update(item, key)
+        else:
+            self.push(item, key)
+
+    def peek_min(self) -> Tuple[T, float]:
+        """Return ``(item, key)`` with the minimum key without removing it."""
+        if not self._items:
+            raise IndexError("peek from an empty heap")
+        return self._items[0], self._keys[0]
+
+    def pop_min(self) -> Tuple[T, float]:
+        """Remove and return ``(item, key)`` with the minimum key."""
+        if not self._items:
+            raise IndexError("pop from an empty heap")
+        item, key = self._items[0], self._keys[0]
+        self._delete_at(0)
+        return item, key
+
+    def remove(self, item: T) -> float:
+        """Remove *item* from the heap and return its key."""
+        i = self._pos[item]
+        key = self._keys[i]
+        self._delete_at(i)
+        return key
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _delete_at(self, i: int) -> None:
+        last = len(self._items) - 1
+        item = self._items[i]
+        if i != last:
+            self._swap(i, last)
+        self._items.pop()
+        self._keys.pop()
+        del self._pos[item]
+        if i <= last - 1 and self._items:
+            # Restore heap order at the slot that received the moved item.
+            self._sift_down(i)
+            self._sift_up(i)
+
+    def _swap(self, i: int, j: int) -> None:
+        self._items[i], self._items[j] = self._items[j], self._items[i]
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._pos[self._items[i]] = i
+        self._pos[self._items[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        while i > 0:
+            parent = (i - 1) >> 1
+            if self._keys[i] < self._keys[parent]:
+                self._swap(i, parent)
+                i = parent
+            else:
+                return
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._items)
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            smallest = i
+            if left < n and self._keys[left] < self._keys[smallest]:
+                smallest = left
+            if right < n and self._keys[right] < self._keys[smallest]:
+                smallest = right
+            if smallest == i:
+                return
+            self._swap(i, smallest)
+            i = smallest
+
+    def check_invariant(self) -> bool:
+        """Verify the heap property; used by the test suite."""
+        n = len(self._items)
+        for i in range(1, n):
+            parent = (i - 1) >> 1
+            if self._keys[i] < self._keys[parent]:
+                return False
+        for item, pos in self._pos.items():
+            if self._items[pos] != item:
+                return False
+        return len(self._pos) == n

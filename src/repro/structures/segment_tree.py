@@ -1,0 +1,134 @@
+"""Segment tree over fixed slots with point updates and global arg-min.
+
+The paper (Section IV-B) suggests a segment tree [Bentley 1977] to store
+the current degrees of vertices during greedy peeling so that the minimum
+degree vertex can be located in ``O(log n)``.  This module implements that
+structure:
+
+* slots hold ``float`` keys (vertex degrees),
+* a slot can be *deactivated* (its key becomes ``+inf``) when a vertex is
+  peeled,
+* ``argmin()`` returns the active slot with the smallest key.
+
+It is the alternative backend to :class:`repro.structures.heap.IndexedHeap`
+for :func:`repro.peeling.greedy.greedy_peel`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+_INF = math.inf
+
+
+class MinSegmentTree:
+    """Fixed-size segment tree supporting point update and global arg-min.
+
+    Parameters
+    ----------
+    keys:
+        Initial keys; the tree indexes slots ``0 .. len(keys) - 1``.
+    """
+
+    __slots__ = ("_size", "_offset", "_key", "_arg", "_active")
+
+    def __init__(self, keys: Iterable[float]) -> None:
+        values = list(keys)
+        self._size = len(values)
+        if self._size == 0:
+            raise ValueError("segment tree needs at least one slot")
+        self._offset = 1
+        while self._offset < self._size:
+            self._offset *= 2
+        total = 2 * self._offset
+        self._key = [_INF] * total
+        self._arg = [-1] * total
+        self._active = [False] * self._size
+        for i, value in enumerate(values):
+            self._key[self._offset + i] = value
+            self._arg[self._offset + i] = i
+            self._active[i] = True
+        for node in range(self._offset - 1, 0, -1):
+            self._pull(node)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def active_count(self) -> int:
+        """Number of slots that have not been deactivated."""
+        return sum(self._active)
+
+    def is_active(self, slot: int) -> bool:
+        """Whether *slot* still participates in arg-min queries."""
+        self._check(slot)
+        return self._active[slot]
+
+    def key_of(self, slot: int) -> float:
+        """Current key of *slot*; ``KeyError`` if it has been deactivated."""
+        self._check(slot)
+        if not self._active[slot]:
+            raise KeyError(f"slot {slot} is deactivated")
+        return self._key[self._offset + slot]
+
+    def update(self, slot: int, key: float) -> None:
+        """Set the key of an active *slot* to *key*."""
+        self._check(slot)
+        if not self._active[slot]:
+            raise KeyError(f"slot {slot} is deactivated")
+        node = self._offset + slot
+        self._key[node] = key
+        self._refresh_path(node)
+
+    def adjust(self, slot: int, delta: float) -> None:
+        """Add *delta* to the key of an active *slot*."""
+        self.update(slot, self.key_of(slot) + delta)
+
+    def deactivate(self, slot: int) -> float:
+        """Remove *slot* from future queries; return its last key."""
+        key = self.key_of(slot)
+        self._active[slot] = False
+        node = self._offset + slot
+        self._key[node] = _INF
+        self._refresh_path(node)
+        return key
+
+    def argmin(self) -> Tuple[int, float]:
+        """Return ``(slot, key)`` of the active slot with minimum key."""
+        if self._arg[1] < 0 or self._key[1] is _INF and not any(self._active):
+            raise IndexError("argmin on an empty segment tree")
+        if self.active_count == 0:
+            raise IndexError("argmin on an empty segment tree")
+        return self._arg[1], self._key[1]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self._size:
+            raise IndexError(f"slot {slot} out of range [0, {self._size})")
+
+    def _pull(self, node: int) -> None:
+        left, right = 2 * node, 2 * node + 1
+        if self._key[left] <= self._key[right]:
+            self._key[node] = self._key[left]
+            self._arg[node] = self._arg[left]
+        else:
+            self._key[node] = self._key[right]
+            self._arg[node] = self._arg[right]
+
+    def _refresh_path(self, node: int) -> None:
+        node //= 2
+        while node >= 1:
+            self._pull(node)
+            node //= 2
+
+    def check_invariant(self) -> bool:
+        """Verify internal consistency; used by the test suite."""
+        for node in range(1, self._offset):
+            left, right = 2 * node, 2 * node + 1
+            expected = min(self._key[left], self._key[right])
+            if self._key[node] != expected:
+                return False
+        return True

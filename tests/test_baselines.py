@@ -1,0 +1,147 @@
+"""Tests for the EgoScan substitute and heaviest-subgraph search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.egoscan import ego_scan, scan_ego_net
+from repro.baselines.heaviest import (
+    exact_heaviest_subgraph,
+    local_search_heaviest,
+    marginal_weight,
+)
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+
+
+class TestMarginals:
+    def test_marginal_weight(self, signed_graph):
+        assert marginal_weight(signed_graph, {"a", "b"}, "c") == pytest.approx(6.0)
+        assert marginal_weight(signed_graph, {"a"}, "e") == pytest.approx(-4.0)
+        assert marginal_weight(signed_graph, set(), "a") == 0.0
+
+
+class TestLocalSearch:
+    def test_grows_to_positive_structure(self, signed_graph):
+        subset, weight = local_search_heaviest(signed_graph, {"a"})
+        assert {"a", "b", "c"} <= subset
+        assert weight >= signed_graph.total_degree({"a", "b", "c"})
+
+    def test_drops_negative_members(self, signed_graph):
+        subset, _ = local_search_heaviest(signed_graph, {"a", "e"})
+        assert "e" not in subset or marginal_weight(
+            signed_graph, subset - {"e"}, "e"
+        ) >= 0
+
+    def test_respects_candidate_pool(self, signed_graph):
+        subset, _ = local_search_heaviest(
+            signed_graph, {"a"}, candidate_pool={"a", "b"}
+        )
+        assert subset <= {"a", "b"}
+
+    def test_local_optimum_property(self):
+        """At exit, no single add/remove improves the objective."""
+        for seed in range(8):
+            gd = random_signed_graph(20, 0.3, seed=seed)
+            subset, _ = local_search_heaviest(gd, set(list(gd.vertices())[:2]))
+            for v in gd.vertices():
+                gain = marginal_weight(gd, subset - {v}, v)
+                if v in subset:
+                    assert gain >= 0.0
+                else:
+                    assert gain <= 0.0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            local_search_heaviest(Graph(), set(), candidate_pool=set())
+
+    def test_near_optimal_on_small_graphs(self):
+        """Local search from a good seed lands close to the exact optimum
+        of max W_D(S) on small instances."""
+        hits = 0
+        for seed in range(10):
+            gd = random_signed_graph(10, 0.5, seed=seed)
+            exact_set, exact_weight = exact_heaviest_subgraph(gd)
+            subset, weight = local_search_heaviest(gd, exact_set)
+            # Starting at the optimum must stay at the optimum.
+            assert weight == pytest.approx(exact_weight)
+            hits += 1
+        assert hits == 10
+
+
+class TestEgoScan:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            ego_scan(Graph())
+
+    def test_single_vertex_graph(self):
+        graph = Graph()
+        graph.add_vertex("a")
+        result = ego_scan(graph)
+        assert result.subset == {"a"}
+        assert result.total_weight == 0.0
+
+    def test_scan_ego_net_isolated(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["z"])
+        subset, weight = scan_ego_net(graph, "z")
+        assert subset == {"z"}
+        assert weight == 0.0
+
+    def test_finds_heavy_cluster(self):
+        gd = complete_graph(5, weight=2.0)
+        gd.add_edge(0, "x", -5.0)
+        result = ego_scan(gd)
+        assert result.subset == {0, 1, 2, 3, 4}
+        assert result.total_weight == pytest.approx(40.0)
+
+    def test_total_weight_convention(self, signed_graph):
+        result = ego_scan(signed_graph)
+        assert result.total_weight == pytest.approx(
+            signed_graph.total_degree(result.subset)
+        )
+
+    def test_max_seeds_cap(self):
+        gd = random_signed_graph(30, 0.3, seed=1)
+        result = ego_scan(gd, max_seeds=5)
+        assert result.seeds_scanned == 5
+
+    def test_matches_exact_on_small_graphs(self):
+        """On small graphs the substitute usually finds the optimum of
+        its objective; require at least 80% exact hits and never exceed."""
+        hits = 0
+        for seed in range(10):
+            gd = random_signed_graph(11, 0.45, seed=seed)
+            _, exact_weight = exact_heaviest_subgraph(gd)
+            result = ego_scan(gd)
+            assert result.total_weight <= exact_weight + 1e-9
+            if result.total_weight == pytest.approx(exact_weight):
+                hits += 1
+        assert hits >= 8
+
+    def test_beats_dcs_algorithms_on_total_weight(self):
+        """Table IX's shape: EgoScan wins on total edge weight."""
+        from repro.core.dcsad import dcs_greedy
+        from repro.core.newsea import new_sea
+
+        for seed in range(5):
+            gd = random_signed_graph(40, 0.25, seed=seed)
+            ego = ego_scan(gd)
+            ad = dcs_greedy(gd)
+            ga = new_sea(gd.positive_part())
+            assert ego.total_weight >= gd.total_degree(ad.subset) - 1e-9
+            assert ego.total_weight >= gd.total_degree(ga.support) - 1e-9
+
+    def test_loses_on_density(self):
+        """Table VIII's shape: EgoScan subgraphs are big and less dense
+        than the DCSAD answer."""
+        from repro.core.dcsad import dcs_greedy
+
+        worse = 0
+        for seed in range(5):
+            gd = random_signed_graph(40, 0.25, seed=seed)
+            ego = ego_scan(gd)
+            ad = dcs_greedy(gd)
+            ego_density = gd.total_degree(ego.subset) / len(ego.subset)
+            if ego_density <= ad.density + 1e-9:
+                worse += 1
+        assert worse >= 4

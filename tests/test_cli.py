@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.graph import Graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def pair_files(tmp_path):
+    g1 = Graph.from_edges(
+        [("a", "b", 1.0), ("d", "e", 4.0)], vertices=["c"]
+    )
+    g2 = Graph.from_edges(
+        [("a", "b", 3.0), ("b", "c", 2.0), ("a", "c", 2.5), ("d", "e", 1.0)]
+    )
+    p1 = tmp_path / "g1.txt"
+    p2 = tmp_path / "g2.txt"
+    write_edge_list(g1, p1)
+    write_edge_list(g2, p2)
+    return str(p1), str(p2)
+
+
+class TestStats:
+    def test_stats_runs(self, pair_files, capsys):
+        code = main(["stats", *pair_files])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m+" in out and "m-" in out
+
+    def test_stats_discrete(self, pair_files, capsys):
+        assert main(["stats", "--discrete", *pair_files]) == 0
+        assert "Discrete" in capsys.readouterr().out
+
+    def test_discrete_alpha_conflict(self, pair_files):
+        with pytest.raises(SystemExit):
+            main(["stats", "--discrete", "--alpha", "2.0", *pair_files])
+
+
+class TestDCSAD:
+    def test_finds_triangle(self, pair_files, capsys):
+        assert main(["dcsad", *pair_files]) == 0
+        out = capsys.readouterr().out
+        assert "a b c" in out
+        assert "approximation ratio" in out
+
+    def test_flip_finds_fading_pair(self, pair_files, capsys):
+        assert main(["dcsad", "--flip", *pair_files]) == 0
+        out = capsys.readouterr().out
+        assert "d e" in out
+
+    def test_top_k(self, pair_files, capsys):
+        assert main(["dcsad", "--top-k", "2", *pair_files]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out
+
+    def test_cap(self, pair_files, capsys):
+        assert main(["dcsad", "--cap", "0.5", *pair_files]) == 0
+        out = capsys.readouterr().out
+        assert "contrast" in out
+
+
+class TestDCSGA:
+    def test_finds_positive_clique(self, pair_files, capsys):
+        assert main(["dcsga", *pair_files]) == 0
+        out = capsys.readouterr().out
+        assert "positive clique: True" in out
+        assert "affinity contrast" in out
+
+    def test_top_k(self, pair_files, capsys):
+        assert main(["dcsga", "--top-k", "3", *pair_files]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out
+
+    def test_alpha(self, pair_files, capsys):
+        assert main(["dcsga", "--alpha", "0.5", *pair_files]) == 0
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["teleport", "a", "b"])
+
+    def test_module_invocation(self, pair_files):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "dcsad", *pair_files],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "contrast" in proc.stdout

@@ -1,0 +1,128 @@
+"""Tests for the 2-coordinate descent shrink stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coordinate_descent import (
+    coordinate_descent,
+    gradient_gap,
+)
+from repro.analysis.metrics import affinity
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+
+
+class TestValidation:
+    def test_empty_subset_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            coordinate_descent(triangle, {"a": 1.0}, subset=set())
+
+    def test_support_outside_subset_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            coordinate_descent(triangle, {"a": 1.0}, subset={"b"})
+
+    def test_bad_sum_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            coordinate_descent(triangle, {"a": 0.4})
+
+
+class TestConvergence:
+    def test_singleton_is_trivially_kkt(self, triangle):
+        result = coordinate_descent(triangle, {"a": 1.0}, subset={"a"})
+        assert result.converged
+        assert result.iterations == 0
+        assert result.x == {"a": 1.0}
+
+    def test_two_vertex_positive_edge_balances(self):
+        graph = Graph.from_edges([("a", "b", 2.0)])
+        result = coordinate_descent(
+            graph, {"a": 0.9, "b": 0.1}, tol=1e-12
+        )
+        assert result.converged
+        assert result.x["a"] == pytest.approx(0.5, abs=1e-6)
+        assert result.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_clique_is_fixed_point(self):
+        graph = complete_graph(4)
+        x0 = {u: 0.25 for u in range(4)}
+        result = coordinate_descent(graph, x0, tol=1e-12)
+        assert result.converged
+        assert result.objective == pytest.approx(0.75)
+        assert result.iterations == 0
+
+    def test_mass_moves_to_heavier_edge(self):
+        """From uniform on a path, mass should abandon the weak edge."""
+        graph = Graph.from_edges([("a", "b", 10.0), ("b", "c", 0.1)])
+        x0 = {"a": 1 / 3, "b": 1 / 3, "c": 1 / 3}
+        result = coordinate_descent(graph, x0, tol=1e-10)
+        assert result.converged
+        assert result.objective == pytest.approx(5.0, abs=1e-3)
+        assert result.x.get("c", 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_reaches_local_kkt_on_subset(self):
+        from repro.core.kkt import check_kkt
+
+        for seed in range(8):
+            gd = random_signed_graph(15, 0.4, seed=seed).positive_part()
+            support = sorted(gd.vertices(), key=repr)[:6]
+            x0 = {u: 1.0 / len(support) for u in support}
+            result = coordinate_descent(gd, x0, subset=set(support), tol=1e-9)
+            assert result.converged
+            report = check_kkt(gd, result.x, subset=set(support), tol=1e-6)
+            assert report.is_kkt, f"seed {seed}: gap {report.gap}"
+
+    def test_objective_never_decreases(self):
+        """Each pair move strictly improves f; final >= initial."""
+        for seed in range(8):
+            gd = random_signed_graph(12, 0.5, seed=seed)
+            vertices = sorted(gd.vertices(), key=repr)[:5]
+            x0 = {u: 0.2 for u in vertices}
+            before = affinity(gd, x0)
+            result = coordinate_descent(gd, x0, subset=set(vertices))
+            assert result.objective >= before - 1e-9
+
+    def test_mass_conserved(self):
+        for seed in range(8):
+            gd = random_signed_graph(12, 0.5, seed=seed)
+            vertices = sorted(gd.vertices(), key=repr)[:5]
+            x0 = {u: 0.2 for u in vertices}
+            result = coordinate_descent(gd, x0, subset=set(vertices))
+            assert sum(result.x.values()) == pytest.approx(1.0, abs=1e-9)
+            assert all(v > 0 for v in result.x.values())
+
+    def test_support_never_escapes_subset(self):
+        for seed in range(6):
+            gd = random_signed_graph(15, 0.5, seed=seed)
+            vertices = sorted(gd.vertices(), key=repr)
+            subset = set(vertices[:5])
+            x0 = {vertices[0]: 1.0}
+            result = coordinate_descent(gd, x0, subset=subset)
+            assert set(result.x) <= subset
+
+    def test_iteration_cap_returns_unconverged(self):
+        graph = complete_graph(6)
+        x0 = {0: 0.9, 1: 0.02, 2: 0.02, 3: 0.02, 4: 0.02, 5: 0.02}
+        result = coordinate_descent(graph, x0, tol=0.0, max_iterations=1)
+        assert result.iterations <= 1
+
+
+class TestSignedEdges:
+    def test_negative_pair_edge_splits_to_endpoint(self):
+        """With D(i,j) < 0 the 1-D problem is convex: optimum at 0 or C
+        (the mechanism behind Theorem 5's refinement)."""
+        graph = Graph.from_edges([("a", "b", -2.0), ("a", "c", 1.0), ("b", "c", 1.0)])
+        x0 = {"a": 0.4, "b": 0.4, "c": 0.2}
+        result = coordinate_descent(graph, x0, tol=1e-10)
+        # a and b cannot both stay: their joint edge is negative.
+        assert not ("a" in result.x and "b" in result.x) or (
+            result.x.get("a", 0) < 1e-9 or result.x.get("b", 0) < 1e-9
+        )
+
+    def test_gradient_gap_reports_kkt(self):
+        graph = Graph.from_edges([("a", "b", 2.0)])
+        assert gradient_gap(graph, {"a": 0.5, "b": 0.5}) <= 1e-12
+        assert gradient_gap(graph, {"a": 0.9, "b": 0.1}) > 0
+
+    def test_gradient_gap_singleton(self, triangle):
+        assert gradient_gap(triangle, {"a": 1.0}, subset={"a"}) == float("-inf")

@@ -1,0 +1,106 @@
+"""Tests for the synthetic DBLP co-authorship generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import average_degree_contrast
+from repro.core.difference import difference_graph
+from repro.datasets.synthetic_dblp import (
+    coauthor_snapshots,
+    community_index,
+    dblp_c_snapshots,
+)
+from repro.graph.cliques import is_positive_clique
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return coauthor_snapshots(n_authors=300, n_communities=15, seed=1)
+
+
+class TestStructure:
+    def test_shared_vertex_set(self, dataset):
+        assert dataset.g1.vertex_set() == dataset.g2.vertex_set()
+        assert dataset.g1.num_vertices == 300
+
+    def test_integer_weights(self, dataset):
+        for graph in (dataset.g1, dataset.g2):
+            for _, _, weight in graph.edges():
+                assert weight == int(weight)
+                assert weight > 0
+
+    def test_planted_group_counts(self, dataset):
+        assert len(dataset.emerging_groups) == 3
+        assert len(dataset.disappearing_groups) == 3
+
+    def test_groups_disjoint(self, dataset):
+        groups = dataset.emerging_groups + dataset.disappearing_groups
+        for i, a in enumerate(groups):
+            for b in groups[i + 1 :]:
+                assert not (a & b)
+
+    def test_determinism(self):
+        a = coauthor_snapshots(n_authors=150, n_communities=10, seed=5)
+        b = coauthor_snapshots(n_authors=150, n_communities=10, seed=5)
+        assert a.g1 == b.g1
+        assert a.g2 == b.g2
+        assert a.emerging_groups == b.emerging_groups
+
+    def test_seed_changes_output(self):
+        a = coauthor_snapshots(n_authors=150, n_communities=10, seed=5)
+        b = coauthor_snapshots(n_authors=150, n_communities=10, seed=6)
+        assert a.g1 != b.g1
+
+    def test_too_few_communities_rejected(self):
+        with pytest.raises(ValueError):
+            coauthor_snapshots(n_authors=30, n_communities=30, n_emerging=20)
+
+
+class TestPlantedContrast:
+    def test_emerging_groups_are_positive_cliques_in_gd(self, dataset):
+        gd = difference_graph(dataset.g1, dataset.g2)
+        for group in dataset.emerging_groups:
+            assert is_positive_clique(gd, group)
+
+    def test_disappearing_groups_positive_in_flipped_gd(self, dataset):
+        gd = difference_graph(dataset.g2, dataset.g1)
+        for group in dataset.disappearing_groups:
+            assert is_positive_clique(gd, group)
+
+    def test_emerging_contrast_dominates_background(self, dataset):
+        """Planted groups have far higher density contrast than a random
+        same-size author set."""
+        import random
+
+        rng = random.Random(0)
+        authors = sorted(dataset.authors)
+        for group in dataset.emerging_groups:
+            planted = average_degree_contrast(dataset.g1, dataset.g2, group)
+            random_set = rng.sample(authors, len(group))
+            background = average_degree_contrast(
+                dataset.g1, dataset.g2, random_set
+            )
+            assert planted > background + 5.0
+
+    def test_community_index_covers_groups(self, dataset):
+        index = community_index(dataset)
+        members = set().union(
+            *dataset.emerging_groups, *dataset.disappearing_groups
+        )
+        assert set(index) == members
+
+
+class TestDBLPC:
+    def test_prolific_duo_planted(self):
+        dataset = dblp_c_snapshots(n_authors=400, n_communities=20, seed=2)
+        gd = difference_graph(dataset.g1, dataset.g2)
+        duo = dataset.emerging_groups[-1]
+        assert len(duo) == 2
+        u, v = sorted(duo)
+        assert gd.weight(u, v) >= 200.0
+
+    def test_bigger_than_base(self):
+        dataset = dblp_c_snapshots(n_authors=400, n_communities=20, seed=2)
+        assert len(dataset.emerging_groups) == 5  # 4 + the duo
+        assert len(dataset.disappearing_groups) == 4

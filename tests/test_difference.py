@@ -1,0 +1,181 @@
+"""Tests for difference-graph construction and input transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.difference import (
+    DBLP_DISCRETE,
+    DiscreteLevels,
+    cap_weights,
+    difference_graph,
+    difference_stats,
+    discrete_difference_graph,
+    flip,
+    positive_part,
+    scale_free_quantizer,
+)
+from repro.exceptions import InputMismatchError
+from repro.graph.graph import Graph
+
+
+class TestDifferenceGraph:
+    def test_basic_subtraction(self, paper_pair):
+        g1, g2 = paper_pair
+        gd = difference_graph(g1, g2)
+        assert gd.weight(1, 4) == 3.0  # 4 - 1
+        assert gd.weight(4, 5) == -2.0  # 3 - 5
+        assert gd.weight(2, 3) == 1.0  # 3 - 2
+
+    def test_equal_weights_cancel(self, paper_pair):
+        g1, g2 = paper_pair
+        gd = difference_graph(g1, g2)
+        # (1,2) has weight 2 in both: no edge in GD.
+        assert not gd.has_edge(1, 2)
+
+    def test_one_sided_edges(self, paper_pair):
+        g1, g2 = paper_pair
+        gd = difference_graph(g1, g2)
+        assert gd.weight(2, 5) == 2.0  # only in G2
+        # (3,5) only in G1 with weight 2 -> -2 in GD.
+        assert gd.weight(3, 5) == -2.0
+
+    def test_vertex_set_preserved(self, paper_pair):
+        g1, g2 = paper_pair
+        gd = difference_graph(g1, g2)
+        assert gd.vertex_set() == g1.vertex_set()
+
+    def test_mismatched_vertices_rejected(self):
+        g1 = Graph.from_edges([("a", "b", 1.0)])
+        g2 = Graph.from_edges([("a", "c", 1.0)])
+        with pytest.raises(InputMismatchError):
+            difference_graph(g1, g2)
+
+    def test_union_mode(self):
+        g1 = Graph.from_edges([("a", "b", 1.0)])
+        g2 = Graph.from_edges([("a", "c", 2.0)])
+        gd = difference_graph(g1, g2, require_same_vertices=False)
+        assert gd.vertex_set() == {"a", "b", "c"}
+        assert gd.weight("a", "b") == -1.0
+        assert gd.weight("a", "c") == 2.0
+
+    def test_alpha_generalisation(self):
+        """Section III-D: D = A2 - alpha * A1."""
+        g1 = Graph.from_edges([("a", "b", 2.0)])
+        g2 = Graph.from_edges([("a", "b", 3.0)])
+        gd = difference_graph(g1, g2, alpha=1.5)
+        assert gd.weight("a", "b") == pytest.approx(0.0, abs=1e-12)
+        gd2 = difference_graph(g1, g2, alpha=0.5)
+        assert gd2.weight("a", "b") == pytest.approx(2.0)
+
+    def test_antisymmetry(self, paper_pair):
+        """GD(G1, G2) == -GD(G2, G1)."""
+        g1, g2 = paper_pair
+        forward = difference_graph(g1, g2)
+        backward = difference_graph(g2, g1)
+        assert forward == backward.negated()
+
+    def test_flip_equals_swapped_arguments(self, paper_pair):
+        g1, g2 = paper_pair
+        assert flip(difference_graph(g1, g2)) == difference_graph(g2, g1)
+
+
+class TestPositivePart:
+    def test_only_positive_edges(self, paper_pair):
+        g1, g2 = paper_pair
+        plus = positive_part(difference_graph(g1, g2))
+        assert all(w > 0 for _, _, w in plus.edges())
+        assert plus.vertex_set() == g1.vertex_set()
+
+
+class TestDiscreteSetting:
+    def test_paper_levels(self):
+        """Section VI-B quantisation of collaboration-count differences."""
+        assert DBLP_DISCRETE(7.0) == 2.0
+        assert DBLP_DISCRETE(5.0) == 2.0
+        assert DBLP_DISCRETE(3.0) == 1.0
+        assert DBLP_DISCRETE(2.0) == 1.0
+        assert DBLP_DISCRETE(1.0) == 0.0
+        assert DBLP_DISCRETE(-1.0) == -1.0
+        assert DBLP_DISCRETE(-3.0) == -1.0
+        assert DBLP_DISCRETE(-4.0) == -2.0
+        assert DBLP_DISCRETE(-10.0) == -2.0
+
+    def test_discrete_difference_graph(self):
+        g1 = Graph.from_edges(
+            [("a", "b", 1.0), ("c", "d", 10.0)], vertices=["e"]
+        )
+        g2 = Graph.from_edges(
+            [("a", "b", 7.0), ("c", "d", 1.0)], vertices=["e"]
+        )
+        gd = discrete_difference_graph(g1, g2)
+        assert gd.weight("a", "b") == 2.0  # +6 -> 2
+        assert gd.weight("c", "d") == -2.0  # -9 -> -2
+
+    def test_level_misalignment_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteLevels(thresholds=(1.0,), values=(1.0, 2.0))
+
+    def test_levels_must_decrease(self):
+        with pytest.raises(ValueError):
+            DiscreteLevels(thresholds=(1.0, 2.0), values=(1.0, 2.0))
+
+    def test_zero_mapped_edges_dropped(self):
+        g1 = Graph.from_edges([("a", "b", 1.0)])
+        g2 = Graph.from_edges([("a", "b", 2.0)])  # diff +1 -> level 0
+        gd = discrete_difference_graph(g1, g2)
+        assert gd.num_edges == 0
+
+
+class TestCapAndQuantize:
+    def test_cap_weights(self):
+        graph = Graph.from_edges(
+            [("a", "b", 50.0), ("b", "c", -30.0), ("c", "d", 5.0)]
+        )
+        capped = cap_weights(graph, 10.0)
+        assert capped.weight("a", "b") == 10.0
+        assert capped.weight("b", "c") == -10.0
+        assert capped.weight("c", "d") == 5.0
+
+    def test_cap_must_be_positive(self, triangle):
+        with pytest.raises(ValueError):
+            cap_weights(triangle, 0.0)
+
+    def test_scale_free_quantizer(self):
+        quantize = scale_free_quantizer([1.0, 3.0, 8.0])
+        assert quantize(0.5) == 0.0
+        assert quantize(2.0) == 1.0
+        assert quantize(-2.0) == -1.0
+        assert quantize(5.0) == 2.0
+        assert quantize(100.0) == 3.0
+
+    def test_quantizer_validates_boundaries(self):
+        with pytest.raises(ValueError):
+            scale_free_quantizer([])
+        with pytest.raises(ValueError):
+            scale_free_quantizer([2.0, 1.0])
+        with pytest.raises(ValueError):
+            scale_free_quantizer([-1.0])
+
+
+class TestStats:
+    def test_stats_fields(self, paper_pair):
+        g1, g2 = paper_pair
+        stats = difference_stats(difference_graph(g1, g2))
+        assert stats.num_vertices == 5
+        assert stats.num_positive_edges + stats.num_negative_edges == stats.num_edges
+        assert stats.max_weight >= stats.min_weight
+        assert stats.positive_density == stats.num_positive_edges / 5
+
+    def test_stats_empty_graph(self):
+        graph = Graph()
+        graph.add_vertices("ab")
+        stats = difference_stats(graph)
+        assert stats.max_weight is None
+        assert stats.average_weight is None
+        assert stats.positive_density == 0.0
+
+    def test_stats_average(self):
+        graph = Graph.from_edges([("a", "b", 2.0), ("b", "c", -1.0)])
+        stats = difference_stats(graph)
+        assert stats.average_weight == pytest.approx(0.5)

@@ -1,0 +1,102 @@
+"""Tests for dominant-set clustering [Pavan & Pelillo]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.affinity.dominant_sets import (
+    cluster_assignment,
+    dominant_set_clustering,
+    extract_dominant_set,
+)
+from repro.graph.generators import complete_graph, planted_partition_graph
+from repro.graph.graph import Graph
+
+
+def _two_cliques() -> Graph:
+    graph = complete_graph(4, weight=3.0)
+    for u, v in (("x", "y"), ("y", "z"), ("x", "z")):
+        graph.add_edge(u, v, 1.0)
+    return graph
+
+
+class TestExtraction:
+    def test_single_clique_is_dominant(self):
+        graph = complete_graph(4)
+        cluster = extract_dominant_set(graph)
+        assert cluster is not None
+        assert cluster.support == {0, 1, 2, 3}
+        assert cluster.cohesiveness == pytest.approx(0.75, abs=1e-6)
+
+    def test_edgeless_graph_gives_none(self):
+        graph = Graph()
+        graph.add_vertices("abc")
+        assert extract_dominant_set(graph) is None
+
+    def test_strong_clique_extracted_first(self):
+        cluster = extract_dominant_set(_two_cliques())
+        assert cluster is not None
+        assert cluster.support == {0, 1, 2, 3}
+
+    def test_seed_restriction(self):
+        cluster = extract_dominant_set(
+            _two_cliques(), seed_vertices={"x", "y", "z"}
+        )
+        assert cluster is not None
+        assert cluster.support == {"x", "y", "z"}
+
+
+class TestClustering:
+    def test_negative_weights_rejected(self, signed_graph):
+        with pytest.raises(ValueError, match="nonnegative"):
+            dominant_set_clustering(signed_graph)
+
+    def test_peels_both_cliques_in_order(self):
+        clusters = dominant_set_clustering(_two_cliques())
+        assert len(clusters) == 2
+        assert clusters[0].support == {0, 1, 2, 3}
+        assert clusters[1].support == {"x", "y", "z"}
+        assert clusters[0].cohesiveness > clusters[1].cohesiveness
+
+    def test_max_clusters_budget(self):
+        clusters = dominant_set_clustering(_two_cliques(), max_clusters=1)
+        assert len(clusters) == 1
+
+    def test_min_cohesiveness_threshold(self):
+        clusters = dominant_set_clustering(
+            _two_cliques(), min_cohesiveness=1.0
+        )
+        # Only the heavy clique (cohesiveness 2.25) passes; the weak
+        # triangle (2/3) does not.
+        assert len(clusters) == 1
+
+    def test_supports_are_disjoint(self):
+        graph = planted_partition_graph(
+            [10, 10, 10], p_in=0.9, p_out=0.02, seed=4
+        )
+        clusters = dominant_set_clustering(graph, max_clusters=5)
+        seen = set()
+        for cluster in clusters:
+            assert not (cluster.support & seen)
+            seen |= cluster.support
+
+    def test_community_recovery(self):
+        """On a strong planted partition the first clusters align with
+        planted blocks."""
+        from repro.graph.generators import partition_blocks
+
+        graph = planted_partition_graph(
+            [12, 12], p_in=0.95, p_out=0.01, seed=5
+        )
+        blocks = [set(b) for b in partition_blocks([12, 12])]
+        clusters = dominant_set_clustering(graph, max_clusters=2)
+        assert clusters
+        top = clusters[0].support
+        overlap = max(len(top & block) / len(top | block) for block in blocks)
+        assert overlap >= 0.5
+
+    def test_assignment_map(self):
+        clusters = dominant_set_clustering(_two_cliques())
+        assignment = cluster_assignment(clusters)
+        assert assignment[0] == 0
+        assert assignment["x"] == 1

@@ -1,0 +1,172 @@
+"""Tests for the exact small-graph oracles."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    clique_interior_optimum,
+    exact_dcsad,
+    exact_dcsga,
+    exact_heaviest_subgraph,
+)
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+from repro.graph.matrices import affinity_matrix, embedding_to_vector
+
+
+class TestExactDCSAD:
+    def test_positive_triangle(self, signed_graph):
+        result = exact_dcsad(signed_graph)
+        assert result.subset == {"a", "b", "c"}
+        assert result.density == pytest.approx(6.0)
+
+    def test_matches_brute_force_reference(self):
+        from tests.conftest import brute_force_densest
+
+        for seed in range(6):
+            gd = random_signed_graph(9, 0.5, seed=seed)
+            result = exact_dcsad(gd)
+            _, expected = brute_force_densest(gd)
+            assert result.density == pytest.approx(expected)
+
+    def test_all_negative_graph_single_vertex(self):
+        gd = Graph.from_edges([("a", "b", -1.0)])
+        result = exact_dcsad(gd)
+        assert len(result.subset) == 1
+        assert result.density == 0.0
+
+    def test_size_limit(self):
+        graph = complete_graph(30)
+        with pytest.raises(ValueError, match="limited"):
+            exact_dcsad(graph)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_dcsad(Graph())
+
+
+class TestCliqueInteriorOptimum:
+    def test_singleton(self, triangle):
+        x, value = clique_interior_optimum(triangle, ["a"])
+        assert x == {"a": 1.0}
+        assert value == 0.0
+
+    def test_edge(self):
+        graph = Graph.from_edges([("a", "b", 3.0)])
+        x, value = clique_interior_optimum(graph, ["a", "b"])
+        assert x["a"] == pytest.approx(0.5)
+        # max 2 x_a x_b w = w/2.
+        assert value == pytest.approx(1.5)
+
+    def test_uniform_clique(self):
+        graph = complete_graph(4, weight=2.0)
+        x, value = clique_interior_optimum(graph, [0, 1, 2, 3])
+        assert all(v == pytest.approx(0.25) for v in x.values())
+        assert value == pytest.approx(1.5)  # (k-1)/k * w
+
+    def test_boundary_case_returns_none(self):
+        """A 'clique' whose interior stationary point has a negative
+        entry: the optimum lies on a face, so the oracle skips it."""
+        graph = Graph.from_edges(
+            [("a", "b", 10.0), ("b", "c", 0.1), ("a", "c", 0.1)]
+        )
+        candidate = clique_interior_optimum(graph, ["a", "b", "c"])
+        if candidate is not None:
+            x, _ = candidate
+            assert all(v > 0 for v in x.values())
+
+    def test_value_matches_quadratic_form(self):
+        for seed in range(5):
+            gd = random_signed_graph(10, 0.6, seed=seed).positive_part()
+            from repro.graph.cliques import maximal_cliques
+
+            for clique in maximal_cliques(gd):
+                candidate = clique_interior_optimum(gd, sorted(clique, key=repr))
+                if candidate is None:
+                    continue
+                x, value = candidate
+                matrix, order = affinity_matrix(gd)
+                vec = embedding_to_vector(x, order)
+                assert value == pytest.approx(float(vec @ matrix @ vec), abs=1e-9)
+
+
+class TestExactDCSGA:
+    def test_clique_motzkin_straus(self):
+        result = exact_dcsga(complete_graph(5))
+        assert result.objective == pytest.approx(0.8)
+        assert result.support == set(range(5))
+
+    def test_weighted_triangle_beats_heavy_edge(self):
+        """Affinity of a heavy edge w/2 vs a lighter triangle 2w'/3."""
+        gd = Graph.from_edges(
+            [
+                ("a", "b", 3.0),   # edge alone: 1.5
+                ("x", "y", 2.5),
+                ("y", "z", 2.5),
+                ("x", "z", 2.5),   # triangle: 2/3 * 2.5 = 1.667
+            ]
+        )
+        result = exact_dcsga(gd)
+        assert result.support == {"x", "y", "z"}
+        assert result.objective == pytest.approx(5.0 / 3.0)
+
+    def test_negative_graph_zero(self):
+        gd = Graph.from_edges([("a", "b", -1.0)])
+        result = exact_dcsga(gd)
+        assert result.objective == 0.0
+        assert len(result.support) == 1
+
+    def test_grid_search_never_beats_oracle(self):
+        """Random simplex points can never exceed the oracle value."""
+        rng = np.random.default_rng(1)
+        for seed in range(6):
+            gd = random_signed_graph(8, 0.6, seed=seed)
+            optimum = exact_dcsga(gd).objective
+            matrix, order = affinity_matrix(gd)
+            for _ in range(300):
+                raw = rng.exponential(size=len(order))
+                x = raw / raw.sum()
+                assert float(x @ matrix @ x) <= optimum + 1e-9
+
+    def test_support_is_positive_clique(self):
+        from repro.graph.cliques import is_positive_clique
+
+        for seed in range(6):
+            gd = random_signed_graph(9, 0.5, seed=seed)
+            result = exact_dcsga(gd)
+            assert is_positive_clique(gd, result.support)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            exact_dcsga(complete_graph(30))
+
+
+class TestExactHeaviest:
+    def test_takes_all_positive_edges_when_connected_gain(self):
+        gd = Graph.from_edges(
+            [("a", "b", 2.0), ("b", "c", 3.0), ("c", "d", -10.0)]
+        )
+        subset, weight = exact_heaviest_subgraph(gd)
+        assert subset == {"a", "b", "c"}
+        assert weight == pytest.approx(10.0)  # 2 * (2 + 3)
+
+    def test_matches_brute_force(self):
+        for seed in range(6):
+            gd = random_signed_graph(9, 0.5, seed=seed)
+            _, weight = exact_heaviest_subgraph(gd)
+            vertices = list(gd.vertices())
+            best = 0.0
+            for size in range(1, len(vertices) + 1):
+                for subset in itertools.combinations(vertices, size):
+                    best = max(best, gd.total_degree(set(subset)))
+            assert weight == pytest.approx(best)
+
+    def test_all_negative_graph(self):
+        gd = Graph.from_edges([("a", "b", -1.0)])
+        subset, weight = exact_heaviest_subgraph(gd)
+        assert weight == 0.0
+        assert len(subset) == 1

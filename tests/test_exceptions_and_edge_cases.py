@@ -1,0 +1,146 @@
+"""Exception hierarchy and cross-cutting edge-case tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    EdgeNotFound,
+    EmbeddingError,
+    GraphError,
+    InputMismatchError,
+    ReproError,
+    SelfLoopError,
+    VertexNotFound,
+)
+from repro.graph.graph import Graph
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            VertexNotFound,
+            EdgeNotFound,
+            SelfLoopError,
+            EmbeddingError,
+            ConvergenceError,
+            InputMismatchError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        """Callers may catch KeyError for missing vertices/edges."""
+        assert issubclass(VertexNotFound, KeyError)
+        assert issubclass(EdgeNotFound, KeyError)
+
+    def test_value_like_errors_are_value_errors(self):
+        assert issubclass(SelfLoopError, ValueError)
+        assert issubclass(EmbeddingError, ValueError)
+        assert issubclass(InputMismatchError, ValueError)
+
+    def test_payloads_preserved(self):
+        error = VertexNotFound("ghost")
+        assert error.vertex == "ghost"
+        error = EdgeNotFound("a", "b")
+        assert (error.u, error.v) == ("a", "b")
+        error = ConvergenceError("stuck", iterations=42)
+        assert error.iterations == 42
+
+    def test_single_except_clause_catches_library_errors(self):
+        graph = Graph()
+        caught = 0
+        for action in (
+            lambda: graph.neighbors("ghost"),
+            lambda: graph.remove_vertex("ghost"),
+            lambda: graph.add_edge("a", "a", 1.0),
+        ):
+            try:
+                action()
+            except ReproError:
+                caught += 1
+        assert caught == 3
+
+
+class TestNonFiniteWeights:
+    def test_nan_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError, match="non-finite"):
+            graph.add_edge("a", "b", float("nan"))
+
+    def test_inf_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError, match="non-finite"):
+            graph.add_edge("a", "b", math.inf)
+        with pytest.raises(ValueError, match="non-finite"):
+            graph.add_edge("a", "b", -math.inf)
+
+    def test_increment_to_nan_rejected(self):
+        graph = Graph.from_edges([("a", "b", 1.0)])
+        with pytest.raises(ValueError):
+            graph.increment_edge("a", "b", float("nan"))
+
+    def test_graph_state_unchanged_after_rejection(self):
+        graph = Graph.from_edges([("a", "b", 1.0)])
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "c", math.inf)
+        assert graph.num_edges == 1
+        # Endpoints of the rejected edge were not half-registered with
+        # dangling adjacency.
+        assert not graph.has_edge("a", "c")
+
+
+class TestTinyInputs:
+    def test_single_vertex_everything(self):
+        """The 1-vertex universe is valid input to the full pipeline."""
+        from repro.core.dcsad import dcs_greedy
+        from repro.core.newsea import new_sea
+
+        gd = Graph()
+        gd.add_vertex("only")
+        ad = dcs_greedy(gd)
+        assert ad.subset == {"only"} and ad.density == 0.0
+        ga = new_sea(gd)
+        assert ga.support == {"only"} and ga.objective == 0.0
+
+    def test_two_vertex_positive_edge(self):
+        from repro.core.dcsad import dcs_greedy
+        from repro.core.exact import exact_dcsad, exact_dcsga
+        from repro.core.newsea import new_sea
+
+        gd = Graph.from_edges([("a", "b", 2.0)])
+        assert dcs_greedy(gd).density == pytest.approx(2.0)
+        assert exact_dcsad(gd).density == pytest.approx(2.0)
+        assert new_sea(gd).objective == pytest.approx(1.0, abs=1e-6)
+        assert exact_dcsga(gd).objective == pytest.approx(1.0)
+
+    def test_duplicate_heavy_edges_tie_handling(self):
+        """Two equally heavy positive edges: any one is a valid answer."""
+        from repro.core.dcsad import dcs_greedy
+
+        gd = Graph.from_edges([("a", "b", 5.0), ("c", "d", 5.0)])
+        result = dcs_greedy(gd)
+        assert result.density == pytest.approx(5.0)
+        assert result.subset in ({"a", "b"}, {"c", "d"})
+
+    def test_extreme_weight_magnitudes(self):
+        """1e12-scale weights do not break density computations."""
+        from repro.core.dcsad import dcs_greedy
+        from repro.core.newsea import new_sea
+
+        gd = Graph.from_edges(
+            [("a", "b", 1e12), ("b", "c", 1.0), ("c", "d", -1e12)]
+        )
+        assert dcs_greedy(gd).density == pytest.approx(1e12)
+        assert new_sea(gd.positive_part()).objective == pytest.approx(
+            5e11, rel=1e-6
+        )
+
+    def test_tiny_weight_magnitudes(self):
+        from repro.core.dcsad import dcs_greedy
+
+        gd = Graph.from_edges([("a", "b", 1e-12)])
+        assert dcs_greedy(gd).density == pytest.approx(1e-12)

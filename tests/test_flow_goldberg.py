@@ -1,0 +1,107 @@
+"""Tests for Goldberg's exact densest subgraph algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.goldberg import densest_subgraph, max_density_value
+from repro.graph.generators import (
+    barbell_graph,
+    complete_graph,
+    gnp_graph,
+    planted_clique_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from tests.conftest import brute_force_densest
+
+
+class TestKnownOptima:
+    def test_clique_density(self):
+        subset, density = densest_subgraph(complete_graph(5))
+        assert subset == {0, 1, 2, 3, 4}
+        # rho(K5) = 2 * 10 / 5 = 4 (paper's total-degree convention).
+        assert density == pytest.approx(4.0)
+
+    def test_star_density(self):
+        # Whole star: rho = 2n/(n+1); any sub-star is sparser.
+        subset, density = densest_subgraph(star_graph(5))
+        assert subset == set(range(6))
+        assert density == pytest.approx(10.0 / 6.0)
+
+    def test_heavy_edge_beats_light_clique(self):
+        graph = complete_graph(4, weight=1.0)
+        graph.add_edge("h1", "h2", 100.0)
+        subset, density = densest_subgraph(graph)
+        assert subset == {"h1", "h2"}
+        assert density == pytest.approx(100.0)
+
+    def test_barbell_takes_both_cliques(self):
+        subset, density = densest_subgraph(barbell_graph(5))
+        # Both K5s plus the bridge: rho = 2 * 21 / 10 = 4.2 > 4 (one K5).
+        assert len(subset) == 10
+        assert density == pytest.approx(4.2, abs=1e-6)
+
+    def test_planted_dense_region_found(self):
+        graph = planted_clique_graph(30, 8, 0.05, seed=1)
+        subset, density = densest_subgraph(graph)
+        assert set(range(8)) <= subset
+        assert density >= 7.0 - 1e-6
+
+    def test_edgeless_graph(self):
+        graph = Graph()
+        graph.add_vertices("abc")
+        subset, density = densest_subgraph(graph)
+        assert len(subset) == 1
+        assert density == 0.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            densest_subgraph(Graph())
+
+    def test_negative_weight_rejected(self, signed_graph):
+        with pytest.raises(ValueError, match="positive"):
+            densest_subgraph(signed_graph)
+
+
+class TestAgainstBruteForce:
+    def test_random_unweighted(self):
+        for seed in range(6):
+            graph = gnp_graph(10, 0.4, seed=seed)
+            if graph.num_edges == 0:
+                continue
+            _, density = densest_subgraph(graph)
+            _, expected = brute_force_densest(graph)
+            assert density == pytest.approx(expected, abs=1e-6)
+
+    def test_random_weighted(self):
+        for seed in range(6):
+            graph = gnp_graph(
+                9, 0.5, seed=seed, weight=lambda r: float(r.randint(1, 5))
+            )
+            if graph.num_edges == 0:
+                continue
+            _, density = densest_subgraph(graph)
+            _, expected = brute_force_densest(graph)
+            assert density == pytest.approx(expected, abs=1e-6)
+
+    def test_value_helper(self):
+        graph = complete_graph(4)
+        assert max_density_value(graph) == pytest.approx(3.0)
+
+
+class TestGreedyApproximationAudit:
+    def test_greedy_within_factor_two(self):
+        """Charikar's guarantee, verified against the exact optimum."""
+        from repro.peeling.greedy import greedy_peel
+
+        for seed in range(8):
+            graph = gnp_graph(
+                25, 0.25, seed=seed, weight=lambda r: r.uniform(0.5, 4.0)
+            )
+            if graph.num_edges == 0:
+                continue
+            optimum = max_density_value(graph)
+            greedy = greedy_peel(graph).density
+            assert greedy <= optimum + 1e-6
+            assert greedy >= optimum / 2.0 - 1e-6

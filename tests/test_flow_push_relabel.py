@@ -1,0 +1,100 @@
+"""Tests for push-relabel max flow (cross-validated against Dinic)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flow.dinic import FlowNetwork, max_flow, min_cut_side
+from repro.flow.push_relabel import max_flow_push_relabel
+
+
+def _build(edges):
+    network = FlowNetwork()
+    for u, v, cap in edges:
+        network.add_arc(u, v, cap)
+    return network
+
+
+class TestSmallNetworks:
+    def test_single_arc(self):
+        network = _build([("s", "t", 3.0)])
+        assert max_flow_push_relabel(network, "s", "t") == 3.0
+
+    def test_bottleneck(self):
+        network = _build(
+            [("s", "a", 10.0), ("a", "b", 1.5), ("b", "t", 10.0)]
+        )
+        assert max_flow_push_relabel(network, "s", "t") == pytest.approx(1.5)
+
+    def test_disconnected(self):
+        network = _build([("s", "a", 5.0)])
+        network.add_node("t")
+        assert max_flow_push_relabel(network, "s", "t") == 0.0
+
+    def test_classic_cormen(self):
+        network = _build(
+            [
+                ("s", "v1", 16.0),
+                ("s", "v2", 13.0),
+                ("v1", "v3", 12.0),
+                ("v2", "v1", 4.0),
+                ("v2", "v4", 14.0),
+                ("v3", "v2", 9.0),
+                ("v3", "t", 20.0),
+                ("v4", "v3", 7.0),
+                ("v4", "t", 4.0),
+            ]
+        )
+        assert max_flow_push_relabel(network, "s", "t") == pytest.approx(23.0)
+
+    def test_same_source_sink_rejected(self):
+        network = _build([("s", "t", 1.0)])
+        with pytest.raises(ValueError):
+            max_flow_push_relabel(network, "s", "s")
+
+    def test_missing_node_rejected(self):
+        network = _build([("s", "t", 1.0)])
+        with pytest.raises(KeyError):
+            max_flow_push_relabel(network, "s", "ghost")
+
+
+class TestAgainstDinic:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_networks_agree(self, seed):
+        rng = random.Random(seed)
+        nodes = ["s", "t"] + [f"n{i}" for i in range(6)]
+        edges = []
+        for u in nodes:
+            for v in nodes:
+                if u != v and rng.random() < 0.4:
+                    edges.append((u, v, float(rng.randint(1, 12))))
+        value_pr = max_flow_push_relabel(_build(edges), "s", "t")
+        value_dinic = max_flow(_build(edges), "s", "t")
+        assert value_pr == pytest.approx(value_dinic, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_residual_gives_valid_cut(self, seed):
+        """After push-relabel, the reachable set is a min cut too."""
+        rng = random.Random(100 + seed)
+        nodes = ["s", "t"] + [f"n{i}" for i in range(5)]
+        edges = []
+        for u in nodes:
+            for v in nodes:
+                if u != v and rng.random() < 0.45:
+                    edges.append((u, v, float(rng.randint(1, 9))))
+        network = _build(edges)
+        value = max_flow_push_relabel(network, "s", "t")
+        side = min_cut_side(network, "s")
+        assert "s" in side and "t" not in side
+        crossing = sum(
+            cap for u, v, cap in edges if u in side and v not in side
+        )
+        assert crossing == pytest.approx(value, abs=1e-9)
+
+    def test_undirected_edges(self):
+        network = FlowNetwork()
+        network.add_undirected("s", "m", 4.0)
+        network.add_undirected("m", "t", 2.5)
+        assert max_flow_push_relabel(network, "s", "t") == pytest.approx(2.5)

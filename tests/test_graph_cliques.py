@@ -1,0 +1,139 @@
+"""Tests for clique utilities (Bron-Kerbosch, positivity, subsumption)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.graph.cliques import (
+    count_cliques_by_size,
+    is_clique,
+    is_positive_clique,
+    max_clique_number,
+    maximal_cliques,
+    maximum_clique,
+    remove_subsumed_cliques,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    planted_clique_graph,
+)
+from repro.graph.graph import Graph
+
+
+def reference_max_clique_size(graph: Graph) -> int:
+    """Brute force over all subsets (tiny graphs only)."""
+    vertices = list(graph.vertices())
+    best = 0
+    for size in range(1, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            if is_clique(graph, subset):
+                best = max(best, size)
+    return best
+
+
+class TestIsClique:
+    def test_empty_and_singleton_are_cliques(self, triangle):
+        assert is_clique(triangle, [])
+        assert is_clique(triangle, ["a"])
+
+    def test_triangle_is_clique(self, triangle):
+        assert is_clique(triangle, ["a", "b", "c"])
+
+    def test_missing_edge_breaks_clique(self):
+        graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+        assert not is_clique(graph, ["a", "b", "c"])
+
+    def test_negative_edges_count_for_plain_clique(self):
+        graph = Graph.from_edges(
+            [("a", "b", -1.0), ("b", "c", 1.0), ("a", "c", 1.0)]
+        )
+        assert is_clique(graph, ["a", "b", "c"])
+        assert not is_positive_clique(graph, ["a", "b", "c"])
+
+    def test_positive_clique(self, signed_graph):
+        assert is_positive_clique(signed_graph, ["a", "b", "c"])
+        assert not is_positive_clique(signed_graph, ["c", "d"])
+
+
+class TestEnumeration:
+    def test_triangle_single_maximal_clique(self, triangle):
+        cliques = list(maximal_cliques(triangle))
+        assert cliques == [frozenset({"a", "b", "c"})]
+
+    def test_cycle_maximal_cliques_are_edges(self):
+        cliques = set(maximal_cliques(cycle_graph(5)))
+        assert len(cliques) == 5
+        assert all(len(c) == 2 for c in cliques)
+
+    def test_isolated_vertex_is_singleton_clique(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["z"])
+        cliques = set(maximal_cliques(graph))
+        assert frozenset({"z"}) in cliques
+
+    def test_counts_on_complete_graph(self):
+        counts = count_cliques_by_size(complete_graph(6))
+        assert counts == {6: 1}
+
+    def test_all_maximal_cliques_are_cliques_and_maximal(self):
+        graph = gnp_graph(18, 0.35, seed=1)
+        for clique in maximal_cliques(graph):
+            assert is_clique(graph, clique)
+            for extra in graph.vertices():
+                if extra not in clique:
+                    assert not is_clique(graph, set(clique) | {extra})
+
+    def test_enumeration_covers_every_maximal_clique(self):
+        """Cross-check count against brute-force maximality testing."""
+        graph = gnp_graph(12, 0.4, seed=2)
+        found = set(maximal_cliques(graph))
+        vertices = list(graph.vertices())
+        brute = set()
+        for size in range(1, len(vertices) + 1):
+            for subset in itertools.combinations(vertices, size):
+                s = frozenset(subset)
+                if is_clique(graph, s):
+                    if not any(
+                        is_clique(graph, s | {v})
+                        for v in vertices
+                        if v not in s
+                    ):
+                        brute.add(s)
+        assert found == brute
+
+
+class TestMaximumClique:
+    def test_planted_clique_recovered(self):
+        graph = planted_clique_graph(40, 8, 0.15, seed=3)
+        clique = maximum_clique(graph)
+        assert clique == set(range(8))
+
+    def test_matches_reference_on_random_graphs(self):
+        for seed in range(6):
+            graph = gnp_graph(13, 0.45, seed=seed)
+            assert max_clique_number(graph) == reference_max_clique_size(graph)
+
+    def test_empty_graph(self):
+        assert maximum_clique(Graph()) == set()
+        assert max_clique_number(Graph()) == 0
+
+
+class TestSubsumption:
+    def test_duplicates_removed(self):
+        cliques = [["a", "b"], ["b", "a"], ["c"]]
+        kept = remove_subsumed_cliques(cliques)
+        assert sorted(sorted(c) for c in kept) == [["a", "b"], ["c"]]
+
+    def test_subsets_removed(self):
+        cliques = [["a", "b", "c"], ["a", "b"], ["c"], ["d", "e"]]
+        kept = remove_subsumed_cliques(cliques)
+        assert sorted(sorted(c) for c in kept) == [["a", "b", "c"], ["d", "e"]]
+
+    def test_overlapping_non_subsets_both_kept(self):
+        cliques = [["a", "b", "c"], ["b", "c", "d"]]
+        kept = remove_subsumed_cliques(cliques)
+        assert len(kept) == 2
+
+    def test_empty_input(self):
+        assert remove_subsumed_cliques([]) == []

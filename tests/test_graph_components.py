@@ -1,0 +1,87 @@
+"""Tests for connected components and the densest-component refinement."""
+
+from __future__ import annotations
+
+from repro.graph.components import (
+    connected_components,
+    densest_component,
+    is_connected,
+)
+from repro.graph.graph import Graph
+
+
+def two_triangles() -> Graph:
+    """Two disjoint triangles with different densities."""
+    return Graph.from_edges(
+        [
+            ("a", "b", 1.0),
+            ("b", "c", 1.0),
+            ("a", "c", 1.0),
+            ("x", "y", 5.0),
+            ("y", "z", 5.0),
+            ("x", "z", 5.0),
+        ]
+    )
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        components = connected_components(triangle)
+        assert len(components) == 1
+        assert components[0] == {"a", "b", "c"}
+
+    def test_two_components(self):
+        components = connected_components(two_triangles())
+        assert sorted(len(c) for c in components) == [3, 3]
+
+    def test_isolated_vertices_are_components(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["z"])
+        components = connected_components(graph)
+        assert {"z"} in components
+
+    def test_subset_restriction(self):
+        graph = two_triangles()
+        components = connected_components(graph, subset={"a", "b", "x"})
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["x"]]
+
+    def test_negative_edges_still_connect(self):
+        graph = Graph.from_edges([("a", "b", -1.0)])
+        assert is_connected(graph)
+
+    def test_empty_graph_counts_connected(self):
+        assert is_connected(Graph())
+
+    def test_singleton_connected(self):
+        graph = Graph()
+        graph.add_vertex("a")
+        assert is_connected(graph)
+
+    def test_is_connected_subset(self):
+        graph = two_triangles()
+        assert is_connected(graph, {"a", "b", "c"})
+        assert not is_connected(graph, {"a", "x"})
+
+
+class TestDensestComponent:
+    def test_picks_heavier_triangle(self):
+        graph = two_triangles()
+        best = densest_component(graph, graph.vertex_set())
+        assert best == {"x", "y", "z"}
+
+    def test_single_component_passthrough(self, triangle):
+        assert densest_component(triangle, {"a", "b", "c"}) == {"a", "b", "c"}
+
+    def test_property1_component_at_least_as_dense(self):
+        """Property 1: some component has density >= the whole set."""
+        graph = two_triangles()
+        subset = graph.vertex_set()
+        whole = graph.total_degree(subset) / len(subset)
+        best = densest_component(graph, subset)
+        best_density = graph.total_degree(best) / len(best)
+        assert best_density >= whole
+
+    def test_empty_subset_raises(self, triangle):
+        import pytest
+
+        with pytest.raises(ValueError):
+            densest_component(triangle, set())

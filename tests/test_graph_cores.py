@@ -1,0 +1,115 @@
+"""Tests for k-core decomposition and degeneracy orderings."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.cores import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+)
+from repro.graph.generators import complete_graph, gnp_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+
+
+def reference_core_numbers(graph: Graph) -> dict:
+    """O(n^2) reference: repeatedly strip min-degree vertices."""
+    work = graph.copy()
+    cores = {}
+    level = 0
+    while work.num_vertices:
+        vertex = min(
+            work.vertices(), key=lambda u: (work.unweighted_degree(u), repr(u))
+        )
+        level = max(level, work.unweighted_degree(vertex))
+        cores[vertex] = level
+        work.remove_vertex(vertex)
+    return cores
+
+
+class TestKnownGraphs:
+    def test_clique_cores(self):
+        cores = core_numbers(complete_graph(5))
+        assert all(value == 4 for value in cores.values())
+
+    def test_path_cores(self):
+        cores = core_numbers(path_graph(6))
+        assert all(value == 1 for value in cores.values())
+
+    def test_star_cores(self):
+        cores = core_numbers(star_graph(7))
+        assert all(value == 1 for value in cores.values())
+
+    def test_isolated_vertices_have_core_zero(self):
+        graph = Graph()
+        graph.add_vertices(["a", "b"])
+        assert core_numbers(graph) == {"a": 0, "b": 0}
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+        assert degeneracy(Graph()) == 0
+
+    def test_clique_plus_tail(self):
+        """K4 with a pendant path: clique vertices core 3, tail core 1."""
+        graph = complete_graph(4)
+        graph.add_edge(3, 4, 1.0)
+        graph.add_edge(4, 5, 1.0)
+        cores = core_numbers(graph)
+        assert cores[0] == cores[1] == cores[2] == cores[3] == 3
+        assert cores[4] == cores[5] == 1
+
+    def test_degeneracy_of_clique(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+
+class TestAgainstReference:
+    def test_random_graphs_match_reference(self):
+        for seed in range(8):
+            graph = gnp_graph(30, 0.2, seed=seed)
+            assert core_numbers(graph) == reference_core_numbers(graph)
+
+    def test_core_numbers_ignore_weights(self):
+        rng = random.Random(5)
+        graph = gnp_graph(25, 0.25, seed=1, weight=lambda r: r.uniform(-5, 5))
+        unweighted = Graph.from_unweighted_edges(
+            [(u, v) for u, v, _ in graph.edges()], vertices=graph.vertices()
+        )
+        assert core_numbers(graph) == core_numbers(unweighted)
+
+
+class TestDegeneracyOrdering:
+    def test_is_a_permutation(self):
+        graph = gnp_graph(40, 0.15, seed=2)
+        order = degeneracy_ordering(graph)
+        assert sorted(order, key=repr) == sorted(graph.vertices(), key=repr)
+
+    def test_back_degree_bounded_by_degeneracy(self):
+        """Each vertex has <= degeneracy neighbours later in the order."""
+        graph = gnp_graph(40, 0.2, seed=3)
+        d = degeneracy(graph)
+        position = {v: i for i, v in enumerate(degeneracy_ordering(graph))}
+        for u in graph.vertices():
+            later = sum(
+                1 for v in graph.neighbors(u) if position[v] > position[u]
+            )
+            assert later <= d
+
+
+class TestKCore:
+    def test_k_core_subgraph(self):
+        graph = complete_graph(4)
+        graph.add_edge(3, 4, 1.0)
+        core2 = k_core(graph, 2)
+        assert core2.vertex_set() == {0, 1, 2, 3}
+
+    def test_k_core_min_degree_property(self):
+        graph = gnp_graph(50, 0.15, seed=4)
+        for k in (1, 2, 3):
+            sub = k_core(graph, k)
+            for u in sub.vertices():
+                assert sub.unweighted_degree(u) >= k
+
+    def test_k_core_too_deep_is_empty(self):
+        assert k_core(path_graph(5), 2).num_vertices == 0

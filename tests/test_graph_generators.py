@@ -1,0 +1,174 @@
+"""Tests for random/deterministic graph generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    barbell_graph,
+    chung_lu_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_graph,
+    gnp_graph,
+    partition_blocks,
+    path_graph,
+    planted_clique_graph,
+    planted_partition_graph,
+    powerlaw_degree_sequence,
+    random_signed_graph,
+    random_spanning_tree,
+    star_graph,
+)
+from repro.graph.cliques import is_clique
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph_counts(self):
+        graph = complete_graph(6, weight=2.0)
+        assert graph.num_vertices == 6
+        assert graph.num_edges == 15
+        assert graph.total_weight() == 30.0
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        graph = star_graph(4)
+        assert graph.unweighted_degree(0) == 4
+        assert graph.num_edges == 4
+
+    def test_barbell_direct_bridge(self):
+        graph = barbell_graph(4, bridge_length=1)
+        # 2k vertices, two K4s (6 edges each) plus one bridge edge.
+        assert graph.num_vertices == 8
+        assert graph.num_edges == 13
+        assert is_connected(graph)
+        assert is_clique(graph, range(4))
+
+    def test_barbell_long_bridge(self):
+        graph = barbell_graph(3, bridge_length=3)
+        assert graph.num_vertices == 2 * 3 + 3 - 1
+        assert is_connected(graph)
+        assert graph.num_edges == 2 * 3 + 3
+
+    def test_barbell_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            barbell_graph(1)
+
+
+class TestGnp:
+    def test_determinism_by_seed(self):
+        a = gnp_graph(50, 0.2, seed=5)
+        b = gnp_graph(50, 0.2, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gnp_graph(50, 0.2, seed=5)
+        b = gnp_graph(50, 0.2, seed=6)
+        assert a != b
+
+    def test_extreme_p(self):
+        assert gnp_graph(20, 0.0, seed=1).num_edges == 0
+        assert gnp_graph(10, 1.0, seed=1).num_edges == 45
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            gnp_graph(10, 1.5)
+
+    def test_edge_count_near_expectation(self):
+        graph = gnp_graph(200, 0.1, seed=7)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(graph.num_edges - expected) < 4 * math.sqrt(expected)
+
+    def test_weight_function_applied(self):
+        graph = gnp_graph(30, 0.3, seed=2, weight=lambda r: -1.5)
+        assert all(w == -1.5 for _, _, w in graph.edges())
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        for m in (0, 10, 40):
+            assert gnm_graph(15, m, seed=3).num_edges == m
+
+    def test_dense_path(self):
+        graph = gnm_graph(10, 44, seed=1)
+        assert graph.num_edges == 44
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_graph(5, 11)
+
+
+class TestChungLu:
+    def test_degrees_track_expectation(self):
+        degrees = [10.0] * 100
+        graph = chung_lu_graph(degrees, seed=4)
+        mean_degree = (
+            sum(graph.unweighted_degree(u) for u in graph.vertices()) / 100
+        )
+        assert 6.0 < mean_degree < 14.0
+
+    def test_zero_degrees_isolated(self):
+        graph = chung_lu_graph([0.0, 0.0, 5.0], seed=1)
+        assert graph.num_edges == 0
+
+    def test_powerlaw_sequence_bounds(self):
+        degrees = powerlaw_degree_sequence(500, exponent=2.5, min_degree=2.0, seed=9)
+        assert len(degrees) == 500
+        assert all(d >= 2.0 for d in degrees)
+        cap = math.sqrt(500) * 2.0
+        assert all(d <= cap + 1e-9 for d in degrees)
+
+    def test_powerlaw_bad_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, exponent=1.0)
+
+
+class TestPlanted:
+    def test_planted_clique_present(self):
+        graph = planted_clique_graph(30, 6, 0.1, seed=5, clique_weight=3.0)
+        assert is_clique(graph, range(6))
+        assert graph.weight(0, 1) == 3.0
+
+    def test_planted_clique_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            planted_clique_graph(5, 6, 0.1)
+
+    def test_planted_partition_blocks(self):
+        blocks = partition_blocks([3, 4])
+        assert blocks == [[0, 1, 2], [3, 4, 5, 6]]
+
+    def test_planted_partition_density_gap(self):
+        graph = planted_partition_graph([40, 40], p_in=0.5, p_out=0.01, seed=6)
+        blocks = partition_blocks([40, 40])
+        inside = graph.subgraph(blocks[0]).num_edges
+        crossing = (
+            graph.num_edges
+            - inside
+            - graph.subgraph(blocks[1]).num_edges
+        )
+        assert inside > crossing
+
+
+class TestSignedAndTrees:
+    def test_signed_graph_has_both_signs(self):
+        graph = random_signed_graph(60, 0.3, positive_fraction=0.5, seed=8)
+        signs = {w > 0 for _, _, w in graph.edges()}
+        assert signs == {True, False}
+
+    def test_signed_all_positive_fraction(self):
+        graph = random_signed_graph(40, 0.3, positive_fraction=1.0, seed=8)
+        assert all(w > 0 for _, _, w in graph.edges())
+
+    def test_spanning_tree_is_tree(self):
+        vertices = [f"v{i}" for i in range(25)]
+        tree = random_spanning_tree(vertices, seed=10)
+        assert tree.num_edges == 24
+        assert is_connected(tree)

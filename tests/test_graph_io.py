@@ -1,0 +1,100 @@
+"""Tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import InputMismatchError
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    edges_sorted,
+    read_edge_list,
+    read_pair,
+    write_edge_list,
+    write_pair,
+)
+
+
+def roundtrip(graph: Graph, parser=None) -> Graph:
+    buffer = io.StringIO()
+    write_edge_list(graph, buffer)
+    buffer.seek(0)
+    return read_edge_list(buffer, parser)
+
+
+class TestRoundTrip:
+    def test_simple_graph(self):
+        graph = Graph.from_edges([("a", "b", 1.5), ("b", "c", -2.0)])
+        assert roundtrip(graph) == graph
+
+    def test_isolated_vertices_survive(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["lonely"])
+        restored = roundtrip(graph)
+        assert restored.vertex_set() == {"a", "b", "lonely"}
+
+    def test_int_labels_with_parser(self):
+        graph = Graph.from_edges([(1, 2, 3.0)], vertices=[9])
+        restored = roundtrip(graph, parser=int)
+        assert restored == graph
+
+    def test_float_precision_preserved(self):
+        graph = Graph.from_edges([("a", "b", 0.1 + 0.2)])
+        assert roundtrip(graph).weight("a", "b") == 0.1 + 0.2
+
+    def test_file_paths(self, tmp_path):
+        graph = Graph.from_edges([("x", "y", 4.0)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list(path) == graph
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\na b 2.0\n# trailing\n"
+        graph = read_edge_list(io.StringIO(text))
+        assert graph.weight("a", "b") == 2.0
+
+    def test_bad_weight_reports_line(self):
+        with pytest.raises(InputMismatchError, match="line 2"):
+            read_edge_list(io.StringIO("a b 1.0\na c nope\n"))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(InputMismatchError, match="line 1"):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_whitespace_label_rejected_on_write(self):
+        graph = Graph.from_edges([("bad label", "b", 1.0)])
+        with pytest.raises(InputMismatchError):
+            write_edge_list(graph, io.StringIO())
+
+
+class TestPairs:
+    def test_pair_roundtrip(self, tmp_path):
+        g1 = Graph.from_edges([("a", "b", 1.0)], vertices=["c"])
+        g2 = Graph.from_edges([("b", "c", 2.0)], vertices=["a"])
+        p1, p2 = tmp_path / "g1.txt", tmp_path / "g2.txt"
+        write_pair(g1, g2, p1, p2)
+        r1, r2 = read_pair(p1, p2)
+        assert r1 == g1
+        assert r2 == g2
+
+    def test_write_pair_requires_same_vertices(self, tmp_path):
+        g1 = Graph.from_edges([("a", "b", 1.0)])
+        g2 = Graph.from_edges([("b", "c", 2.0)])
+        with pytest.raises(InputMismatchError):
+            write_pair(g1, g2, tmp_path / "1", tmp_path / "2")
+
+    def test_read_pair_aligns_universes(self, tmp_path):
+        p1, p2 = tmp_path / "g1.txt", tmp_path / "g2.txt"
+        p1.write_text("a b 1.0\n")
+        p2.write_text("b c 1.0\n")
+        g1, g2 = read_pair(p1, p2)
+        assert g1.vertex_set() == g2.vertex_set() == {"a", "b", "c"}
+
+
+class TestSortedEdges:
+    def test_deterministic_order(self):
+        graph = Graph.from_edges([("b", "a", 1.0), ("c", "a", 2.0)])
+        assert edges_sorted(graph) == [("a", "b", 1.0), ("a", "c", 2.0)]

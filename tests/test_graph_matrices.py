@@ -1,0 +1,101 @@
+"""Tests for graph <-> affinity matrix conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InputMismatchError
+from repro.graph.generators import random_signed_graph
+from repro.graph.graph import Graph
+from repro.graph.matrices import (
+    affinity_matrix,
+    embedding_to_vector,
+    graph_from_affinity,
+    vector_to_embedding,
+)
+
+
+class TestAffinityMatrix:
+    def test_symmetric_zero_diagonal(self, signed_graph):
+        matrix, order = affinity_matrix(signed_graph)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+        assert len(order) == signed_graph.num_vertices
+
+    def test_entries_match_weights(self):
+        graph = Graph.from_edges([("a", "b", 2.0), ("b", "c", -1.0)])
+        matrix, order = affinity_matrix(graph, order=["a", "b", "c"])
+        assert matrix[0, 1] == 2.0
+        assert matrix[1, 2] == -1.0
+        assert matrix[0, 2] == 0.0
+
+    def test_custom_order_must_match_vertices(self, triangle):
+        with pytest.raises(InputMismatchError):
+            affinity_matrix(triangle, order=["a", "b"])
+
+    def test_roundtrip_through_matrix(self):
+        graph = random_signed_graph(15, 0.4, seed=1)
+        matrix, order = affinity_matrix(graph)
+        back = graph_from_affinity(matrix, labels=order)
+        assert back == graph
+
+
+class TestGraphFromAffinity:
+    def test_default_int_labels(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        graph = graph_from_affinity(matrix)
+        assert graph.weight(0, 1) == 1.0
+
+    def test_atol_drops_small_entries(self):
+        matrix = np.array([[0.0, 1e-15], [1e-15, 0.0]])
+        graph = graph_from_affinity(matrix, atol=1e-12)
+        assert graph.num_edges == 0
+
+    def test_asymmetric_rejected(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(InputMismatchError):
+            graph_from_affinity(matrix)
+
+    def test_nonzero_diagonal_rejected(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(InputMismatchError):
+            graph_from_affinity(matrix)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InputMismatchError):
+            graph_from_affinity(np.zeros((2, 3)))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(InputMismatchError):
+            graph_from_affinity(np.zeros((2, 2)), labels=["only_one"])
+
+
+class TestEmbeddingVectors:
+    def test_roundtrip(self):
+        order = ["a", "b", "c"]
+        embedding = {"a": 0.25, "c": 0.75}
+        vector = embedding_to_vector(embedding, order)
+        assert np.allclose(vector, [0.25, 0.0, 0.75])
+        assert vector_to_embedding(vector, order) == embedding
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(InputMismatchError):
+            embedding_to_vector({"ghost": 1.0}, ["a"])
+
+    def test_vector_length_checked(self):
+        with pytest.raises(InputMismatchError):
+            vector_to_embedding(np.array([1.0]), ["a", "b"])
+
+    def test_affinity_agrees_with_quadratic_form(self):
+        """f(x) via sparse dict equals x^T D x via numpy — the core identity."""
+        from repro.analysis.metrics import affinity
+
+        graph = random_signed_graph(12, 0.5, seed=3)
+        matrix, order = affinity_matrix(graph)
+        rng = np.random.default_rng(0)
+        raw = rng.random(len(order))
+        x = raw / raw.sum()
+        embedding = vector_to_embedding(x, order)
+        dense = float(x @ matrix @ x)
+        assert affinity(graph, embedding) == pytest.approx(dense)

@@ -1,0 +1,116 @@
+"""Tests for traversal primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VertexNotFound
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_layers,
+    diameter,
+    dijkstra,
+    eccentricity,
+    hop_distances,
+    k_hop_neighborhood,
+    pairs_within_hops,
+)
+
+
+class TestBFS:
+    def test_layers_of_path(self):
+        layers = list(bfs_layers(path_graph(4), 0))
+        assert layers == [{0}, {1}, {2}, {3}]
+
+    def test_layers_of_star(self):
+        layers = list(bfs_layers(star_graph(4), 0))
+        assert layers == [{0}, {1, 2, 3, 4}]
+
+    def test_missing_source_raises(self):
+        with pytest.raises(VertexNotFound):
+            list(bfs_layers(Graph(), "ghost"))
+
+    def test_hop_distances(self):
+        distances = hop_distances(path_graph(5), 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_hop_distances_capped(self):
+        distances = hop_distances(path_graph(5), 0, max_hops=2)
+        assert set(distances) == {0, 1, 2}
+
+    def test_unreachable_vertices_absent(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["z"])
+        assert "z" not in hop_distances(graph, "a")
+
+    def test_negative_edges_still_traversed(self):
+        graph = Graph.from_edges([("a", "b", -1.0)])
+        assert hop_distances(graph, "a") == {"a": 0, "b": 1}
+
+
+class TestKHop:
+    def test_one_hop_is_closed_neighborhood(self, triangle):
+        assert k_hop_neighborhood(triangle, "a", 1) == {"a", "b", "c"}
+
+    def test_zero_hops(self, triangle):
+        assert k_hop_neighborhood(triangle, "a", 0) == {"a"}
+        assert k_hop_neighborhood(triangle, "a", 0, include_source=False) == set()
+
+    def test_negative_k_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(triangle, "a", -1)
+
+    def test_two_hop_on_path(self):
+        graph = path_graph(5)
+        assert k_hop_neighborhood(graph, 0, 2) == {0, 1, 2}
+
+    def test_pairs_within_hops_matches_douban_special_case(self):
+        from repro.datasets.synthetic_douban import two_hop_pairs
+        from repro.graph.generators import gnp_graph
+
+        numeric = gnp_graph(20, 0.15, seed=3)
+        graph = numeric.relabeled({u: f"u{u}" for u in numeric.vertices()})
+        expected = two_hop_pairs(graph)
+        # Normalise pair orientation (both use repr ordering).
+        assert pairs_within_hops(graph, 2) == expected
+
+    def test_pairs_within_one_hop_are_edges(self, triangle):
+        pairs = pairs_within_hops(triangle, 1)
+        assert len(pairs) == 3
+
+
+class TestDijkstra:
+    def test_weighted_path(self):
+        graph = Graph.from_edges(
+            [("a", "b", 2.0), ("b", "c", 3.0), ("a", "c", 10.0)]
+        )
+        distances = dijkstra(graph, "a")
+        assert distances["c"] == pytest.approx(5.0)
+
+    def test_early_stop_at_target(self):
+        graph = path_graph(50)
+        distances = dijkstra(graph, 0, target=3)
+        assert distances[3] == pytest.approx(3.0)
+        assert 49 not in distances
+
+    def test_nonpositive_weight_rejected(self):
+        graph = Graph.from_edges([("a", "b", -1.0)])
+        with pytest.raises(ValueError):
+            dijkstra(graph, "a")
+
+    def test_missing_source(self):
+        with pytest.raises(VertexNotFound):
+            dijkstra(Graph(), "ghost")
+
+
+class TestEccentricityDiameter:
+    def test_path_diameter(self):
+        assert diameter(path_graph(6)) == 5
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(6)) == 3
+
+    def test_star_eccentricities(self):
+        graph = star_graph(5)
+        assert eccentricity(graph, 0) == 1
+        assert eccentricity(graph, 1) == 2

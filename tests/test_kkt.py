@@ -1,0 +1,74 @@
+"""Tests for KKT condition checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kkt import check_kkt, is_kkt_point
+from repro.graph.generators import complete_graph
+from repro.graph.graph import Graph
+
+
+class TestGlobalKKT:
+    def test_uniform_on_clique_is_kkt(self):
+        graph = complete_graph(4)
+        x = {u: 0.25 for u in range(4)}
+        report = check_kkt(graph, x)
+        assert report.is_kkt
+        assert report.lam == pytest.approx(1.5)
+
+    def test_unbalanced_point_is_not_kkt(self):
+        graph = Graph.from_edges([("a", "b", 1.0)])
+        assert not is_kkt_point(graph, {"a": 0.8, "b": 0.2})
+        assert is_kkt_point(graph, {"a": 0.5, "b": 0.5})
+
+    def test_single_vertex_with_positive_neighbor_not_kkt(self, triangle):
+        """e_a on a triangle: neighbours have gradient 2 > lambda = 0."""
+        report = check_kkt(triangle, {"a": 1.0})
+        assert not report.is_kkt
+        assert report.max_gradient == pytest.approx(2.0)
+        assert report.lam == 0.0
+
+    def test_isolated_vertex_is_kkt(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["z"])
+        assert is_kkt_point(graph, {"z": 1.0})
+
+    def test_far_vertices_handled_implicitly(self):
+        """Vertices with no support neighbour have gradient 0; a positive
+        objective keeps the point KKT without examining them."""
+        graph = Graph.from_edges([("a", "b", 1.0), ("x", "y", 1.0)])
+        assert is_kkt_point(graph, {"a": 0.5, "b": 0.5})
+
+    def test_negative_objective_dominated_by_empty_vertex(self):
+        """With f < 0 a zero-gradient vertex beats the support: not KKT."""
+        graph = Graph.from_edges([("a", "b", -1.0)], vertices=["z"])
+        report = check_kkt(graph, {"a": 0.5, "b": 0.5})
+        assert not report.is_kkt
+
+    def test_empty_embedding_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            check_kkt(triangle, {})
+
+
+class TestLocalKKT:
+    def test_local_on_subset(self, triangle):
+        """e_a is a local KKT point on {a} but not globally."""
+        report = check_kkt(triangle, {"a": 1.0}, subset={"a"})
+        assert report.is_kkt
+        assert not is_kkt_point(triangle, {"a": 1.0})
+
+    def test_local_violated_inside_subset(self, triangle):
+        report = check_kkt(
+            triangle, {"a": 0.9, "b": 0.1}, subset={"a", "b"}
+        )
+        assert not report.is_kkt
+
+    def test_support_must_be_inside_subset(self, triangle):
+        with pytest.raises(ValueError):
+            check_kkt(triangle, {"a": 1.0}, subset={"b"})
+
+    def test_gap_sign_convention(self, triangle):
+        balanced = check_kkt(triangle, {u: 1 / 3 for u in "abc"})
+        assert balanced.gap <= 1e-9
+        skewed = check_kkt(triangle, {"a": 0.98, "b": 0.01, "c": 0.01})
+        assert skewed.gap > 0

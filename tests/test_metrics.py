@@ -1,0 +1,122 @@
+"""Tests for density measures and contrast evaluations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    affinity,
+    affinity_contrast,
+    average_degree,
+    average_degree_contrast,
+    edge_density,
+    edge_density_contrast,
+    embedding_summary,
+    support,
+    total_degree,
+    total_degree_contrast,
+    uniform_affinity,
+)
+from repro.graph.generators import complete_graph
+from repro.graph.graph import Graph
+
+
+class TestSingleGraphMeasures:
+    def test_total_degree_counts_twice(self, triangle):
+        assert total_degree(triangle, {"a", "b", "c"}) == 6.0
+
+    def test_average_degree_clique(self):
+        # rho(K_k) = k - 1 with unit weights.
+        for k in (2, 3, 5):
+            graph = complete_graph(k)
+            assert average_degree(graph, range(k)) == pytest.approx(k - 1)
+
+    def test_average_degree_singleton_zero(self, triangle):
+        assert average_degree(triangle, {"a"}) == 0.0
+
+    def test_empty_subset_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            average_degree(triangle, set())
+        with pytest.raises(ValueError):
+            edge_density(triangle, set())
+        with pytest.raises(ValueError):
+            uniform_affinity(triangle, set())
+
+    def test_edge_density(self, triangle):
+        assert edge_density(triangle, {"a", "b", "c"}) == pytest.approx(6 / 9)
+
+    def test_edge_density_equals_uniform_affinity(self, signed_graph):
+        subset = {"a", "b", "c", "d"}
+        assert edge_density(signed_graph, subset) == pytest.approx(
+            uniform_affinity(signed_graph, subset)
+        )
+
+    def test_affinity_skips_zero_entries(self, triangle):
+        x = {"a": 0.5, "b": 0.5, "c": 0.0}
+        assert affinity(triangle, x) == pytest.approx(0.5)
+
+    def test_affinity_tolerates_foreign_vertices(self, triangle):
+        assert affinity(triangle, {"ghost": 1.0}) == 0.0
+
+    def test_support(self):
+        assert support({"a": 0.5, "b": 0.0, "c": 0.5}) == {"a", "c"}
+
+
+class TestContrasts:
+    def _pair(self):
+        g1 = Graph.from_edges([("a", "b", 1.0)], vertices=["c"])
+        g2 = Graph.from_edges(
+            [("a", "b", 4.0), ("b", "c", 2.0)], vertices=[]
+        )
+        g2.add_vertex("c")
+        return g1, g2
+
+    def test_average_degree_contrast(self):
+        g1, g2 = self._pair()
+        # S = {a,b}: rho2 - rho1 = 4 - 1 = 3.
+        assert average_degree_contrast(g1, g2, {"a", "b"}) == pytest.approx(3.0)
+
+    def test_edge_density_contrast(self):
+        g1, g2 = self._pair()
+        assert edge_density_contrast(g1, g2, {"a", "b"}) == pytest.approx(
+            (8 - 2) / 4
+        )
+
+    def test_affinity_contrast(self):
+        g1, g2 = self._pair()
+        x = {"a": 0.5, "b": 0.5}
+        assert affinity_contrast(g1, g2, x) == pytest.approx(2.0 - 0.5)
+
+    def test_total_degree_contrast(self):
+        g1, g2 = self._pair()
+        assert total_degree_contrast(g1, g2, {"a", "b", "c"}) == pytest.approx(
+            12.0 - 2.0
+        )
+
+    def test_contrast_equals_difference_graph_measure(self):
+        """Eq. 5: contrast on the pair == density in GD."""
+        from repro.core.difference import difference_graph
+
+        g1, g2 = self._pair()
+        gd = difference_graph(g1, g2)
+        subset = {"a", "b", "c"}
+        assert average_degree_contrast(g1, g2, subset) == pytest.approx(
+            average_degree(gd, subset)
+        )
+        x = {"a": 0.3, "b": 0.3, "c": 0.4}
+        assert affinity_contrast(g1, g2, x) == pytest.approx(affinity(gd, x))
+
+
+class TestSummary:
+    def test_embedding_summary_fields(self, signed_graph):
+        x = {"a": 0.4, "b": 0.3, "c": 0.3}
+        summary = embedding_summary(signed_graph, x)
+        assert summary["size"] == 3
+        assert summary["affinity"] == pytest.approx(affinity(signed_graph, x))
+        assert summary["average_degree"] == pytest.approx(6.0)
+        assert summary["edge_density"] == pytest.approx(2.0)
+        assert summary["total_weight"] == pytest.approx(18.0)
+
+    def test_empty_embedding_rejected(self, signed_graph):
+        with pytest.raises(ValueError):
+            embedding_summary(signed_graph, {})

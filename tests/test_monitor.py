@@ -1,0 +1,139 @@
+"""Tests for temporal contrast monitoring and its workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dcsad import dcs_exact_positive
+from repro.core.monitor import ContrastAlert, ContrastMonitor, mean_graph
+from repro.datasets.temporal import snapshot_stream
+from repro.exceptions import InputMismatchError
+from repro.graph.graph import Graph
+
+
+class TestMeanGraph:
+    def test_mean_of_identical_graphs(self, triangle):
+        mean = mean_graph([triangle, triangle, triangle])
+        assert mean == triangle
+
+    def test_mean_averages_weights(self):
+        g1 = Graph.from_edges([("a", "b", 1.0)], vertices=["c"])
+        g2 = Graph.from_edges([("a", "b", 3.0), ("b", "c", 2.0)])
+        mean = mean_graph([g1, g2])
+        assert mean.weight("a", "b") == pytest.approx(2.0)
+        assert mean.weight("b", "c") == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_graph([])
+
+
+class TestMonitorValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            ContrastMonitor(window=0)
+
+    def test_bad_measure(self):
+        with pytest.raises(ValueError):
+            ContrastMonitor(measure="vibes")
+
+    def test_vertex_set_must_stay_fixed(self, triangle):
+        monitor = ContrastMonitor(window=2)
+        monitor.observe(triangle)
+        other = Graph.from_edges([("x", "y", 1.0)])
+        with pytest.raises(InputMismatchError):
+            monitor.observe(other)
+
+    def test_no_alert_during_warmup(self, triangle):
+        monitor = ContrastMonitor(window=3)
+        assert monitor.observe(triangle) is None
+        assert monitor.observe(triangle) is None
+        assert monitor.observe(triangle) is None
+        # Warmed up from step `window` onward.
+        assert monitor.observe(triangle) is not None
+
+
+class TestMonitorDetection:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return snapshot_stream(
+            n_vertices=80,
+            n_steps=10,
+            anomaly_size=5,
+            anomaly_start=6,
+            anomaly_duration=2,
+            seed=3,
+        )
+
+    def test_ground_truth_metadata(self, stream):
+        assert stream.length == 10
+        assert len(stream.anomaly_members) == 5
+        assert stream.is_anomalous_step(6)
+        assert stream.is_anomalous_step(7)
+        assert not stream.is_anomalous_step(5)
+        assert not stream.is_anomalous_step(8)
+
+    def test_average_degree_monitor_flags_anomaly(self, stream):
+        monitor = ContrastMonitor(window=4, measure="average_degree")
+        alerts = monitor.run(stream.snapshots)
+        by_step = {alert.step: alert for alert in alerts}
+        quiet = [
+            alert.score
+            for alert in alerts
+            if not stream.is_anomalous_step(alert.step)
+        ]
+        hot = [by_step[6].score, by_step[7].score]
+        # The anomaly steps score far above every quiet step.
+        assert min(hot) > 2 * max(quiet)
+        # And the flagged subset is (essentially) the planted cluster.
+        flagged = by_step[6].subset
+        assert len(flagged & stream.anomaly_members) >= 4
+
+    def test_affinity_monitor_flags_clique(self, stream):
+        monitor = ContrastMonitor(window=4, measure="affinity")
+        alerts = monitor.run(stream.snapshots)
+        by_step = {alert.step: alert for alert in alerts}
+        hot = by_step[6]
+        assert hot.subset <= stream.anomaly_members
+        quiet_scores = [
+            alert.score
+            for alert in alerts
+            if not stream.is_anomalous_step(alert.step)
+        ]
+        assert hot.score > 2 * max(quiet_scores)
+
+    def test_alert_threshold_helper(self):
+        alert = ContrastAlert(
+            step=0, subset={"a"}, score=1.5, measure="affinity"
+        )
+        assert alert.exceeds(1.0)
+        assert not alert.exceeds(2.0)
+
+
+class TestExactPositiveDCSAD:
+    def test_matches_goldberg_on_positive_graph(self):
+        from repro.graph.generators import gnp_graph
+
+        gd = gnp_graph(25, 0.2, seed=4, weight=lambda r: r.uniform(0.5, 3.0))
+        result = dcs_exact_positive(gd)
+        assert result.ratio_bound == 1.0
+        # Exact must be at least as good as the greedy heuristic.
+        from repro.core.dcsad import dcs_greedy
+
+        greedy = dcs_greedy(gd)
+        assert result.density >= greedy.density - 1e-9
+
+    def test_negative_edge_rejected(self, signed_graph):
+        with pytest.raises(ValueError):
+            dcs_exact_positive(signed_graph)
+
+    def test_edgeless(self):
+        gd = Graph()
+        gd.add_vertices("ab")
+        result = dcs_exact_positive(gd)
+        assert result.density == 0.0
+        assert len(result.subset) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dcs_exact_positive(Graph())

@@ -1,0 +1,148 @@
+"""End-to-end tests of the paper's worked examples and reductions."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.dcsad import dcs_greedy
+from repro.core.difference import difference_graph, difference_stats
+from repro.core.exact import exact_dcsad, exact_dcsga
+from repro.core.newsea import new_sea
+from repro.graph.cliques import max_clique_number
+from repro.graph.generators import gnp_graph
+from repro.graph.graph import Graph
+
+
+class TestFigure1:
+    """The Section III difference-graph example (Fig. 1 shape)."""
+
+    def test_difference_graph_has_mixed_signs(self, paper_pair):
+        g1, g2 = paper_pair
+        stats = difference_stats(difference_graph(g1, g2))
+        assert stats.num_positive_edges > 0
+        assert stats.num_negative_edges > 0
+
+    def test_positive_part_drops_negative_edges(self, paper_pair):
+        g1, g2 = paper_pair
+        gd = difference_graph(g1, g2)
+        plus = gd.positive_part()
+        assert plus.num_edges == difference_stats(gd).num_positive_edges
+
+    def test_cancelled_edges_absent(self, paper_pair):
+        """Edges with equal weight in G1 and G2 vanish from GD — the
+        defining property ED = {(u,v) | D(u,v) != 0}."""
+        g1, g2 = paper_pair
+        gd = difference_graph(g1, g2)
+        for u, v, w1 in g1.edges():
+            if g2.weight(u, v) == w1:
+                assert not gd.has_edge(u, v)
+
+
+class TestTheorem1Reduction:
+    """The NP-hardness reduction: max clique -> DCSAD instance."""
+
+    def _reduction(self, graph: Graph):
+        """Build (G1, G2) from an unweighted G per the proof of Thm 1."""
+        vertices = list(graph.vertices())
+        m = graph.num_edges
+        g1 = Graph()
+        g2 = Graph()
+        g1.add_vertices(vertices)
+        g2.add_vertices(vertices)
+        for u, v in itertools.combinations(vertices, 2):
+            if graph.has_edge(u, v):
+                g2.add_edge(u, v, 1.0)
+            else:
+                g1.add_edge(u, v, float(m + 1))
+        return g1, g2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimum_is_clique_number_minus_one(self, seed):
+        graph = gnp_graph(9, 0.5, seed=seed)
+        if graph.num_edges == 0:
+            return
+        g1, g2 = self._reduction(graph)
+        gd = difference_graph(g1, g2)
+        optimum = exact_dcsad(gd).density
+        omega = max_clique_number(graph)
+        assert optimum == pytest.approx(omega - 1.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_reports_valid_clique_value(self, seed):
+        """Any DCSAD value k'-1 achieved on the reduction certifies a
+        k'-clique in G (the approximation-hardness argument)."""
+        graph = gnp_graph(9, 0.5, seed=seed)
+        if graph.num_edges == 0:
+            return
+        g1, g2 = self._reduction(graph)
+        gd = difference_graph(g1, g2)
+        result = dcs_greedy(gd)
+        omega = max_clique_number(graph)
+        assert result.density <= omega - 1.0 + 1e-9
+
+
+class TestTheorem3Reduction:
+    """DCSGA with empty G1 equals plain affinity maximisation."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_empty_g1_reduces_to_motzkin_straus(self, seed):
+        graph = gnp_graph(9, 0.5, seed=seed)
+        if graph.num_edges == 0:
+            return
+        g1 = Graph()
+        g1.add_vertices(graph.vertices())
+        gd = difference_graph(g1, graph)
+        assert gd == graph
+        optimum = exact_dcsga(gd).objective
+        omega = max_clique_number(graph)
+        assert optimum == pytest.approx(1.0 - 1.0 / omega)
+
+
+class TestSectionIIIDegenerate:
+    """Section III-B: the no-positive-entry case."""
+
+    def test_no_positive_entries_means_zero_optimum(self):
+        gd = Graph.from_edges([("a", "b", -3.0), ("b", "c", -1.0)])
+        assert exact_dcsad(gd).density == 0.0
+        assert exact_dcsga(gd).objective == 0.0
+        ad = dcs_greedy(gd)
+        assert ad.density == 0.0 and len(ad.subset) == 1
+        ga = new_sea(gd.positive_part())
+        assert ga.objective == 0.0 and len(ga.support) == 1
+
+    def test_single_positive_entry_gives_positive_optimum(self):
+        gd = Graph.from_edges([("a", "b", 0.5), ("b", "c", -1.0)])
+        assert exact_dcsad(gd).density > 0.0
+        assert exact_dcsga(gd).objective > 0.0
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self):
+        from repro import dcs_average_degree, dcs_graph_affinity
+
+        g1 = Graph.from_edges([("a", "b", 1.0)], vertices="abcd")
+        g2 = Graph.from_edges(
+            [("a", "b", 3.0), ("b", "c", 2.0), ("a", "c", 2.5)],
+            vertices="abcd",
+        )
+        ad = dcs_average_degree(g1, g2)
+        assert ad.subset == {"a", "b", "c"}
+        ga = dcs_graph_affinity(g1, g2)
+        assert ga.support == {"a", "b", "c"}
+        assert ga.is_positive_clique
+
+    def test_alpha_parameter_threads_through(self):
+        from repro import dcs_average_degree
+
+        g1 = Graph.from_edges([("a", "b", 2.0), ("c", "d", 1.0)])
+        g2 = Graph.from_edges([("a", "b", 3.0), ("c", "d", 3.0)])
+        # alpha = 2: (a,b) difference 3-4 < 0; (c,d) difference 1 > 0.
+        result = dcs_average_degree(g1, g2, alpha=2.0)
+        assert result.subset == {"c", "d"}
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__

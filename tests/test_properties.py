@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for the paper's structural claims.
+
+Each test encodes one of the paper's formal statements and checks it on
+randomly generated graphs/embeddings:
+
+* Property 1 — DCSAD prefers connected subgraphs;
+* Property 2 — DCSGA prefers connected supports;
+* Motzkin-Straus — unweighted affinity optimum is 1 - 1/omega(G);
+* Theorem 2 — the data-dependent ratio is a true bound;
+* Theorem 5 — there is always a positive-clique optimal solution;
+* Theorem 6 — mu_u bounds clique affinities through u;
+* the expansion-step improvement identity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import affinity, average_degree
+from repro.core.exact import exact_dcsad, exact_dcsga
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def signed_graphs(draw, max_n=10):
+    """Random small signed graphs as edge dicts."""
+    n = draw(st.integers(3, max_n))
+    graph = Graph()
+    graph.add_vertices(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            kind = draw(st.integers(0, 3))
+            if kind == 0:
+                continue
+            weight = draw(
+                st.floats(
+                    min_value=0.25,
+                    max_value=4.0,
+                    allow_nan=False,
+                )
+            )
+            graph.add_edge(u, v, weight if kind < 3 else -weight)
+    return graph
+
+
+@st.composite
+def embeddings_on(draw, vertices):
+    """Random simplex points over a subset of *vertices*."""
+    members = draw(
+        st.lists(
+            st.sampled_from(list(vertices)), min_size=1, max_size=6, unique=True
+        )
+    )
+    raw = [
+        draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+        for _ in members
+    ]
+    total = sum(raw)
+    return {u: w / total for u, w in zip(members, raw)}
+
+
+class TestProperty1:
+    @given(signed_graphs())
+    @settings(**SETTINGS)
+    def test_some_component_at_least_as_dense(self, gd):
+        """Property 1: for any S, a connected component of GD(S) matches
+        or beats its density."""
+        subset = gd.vertex_set()
+        components = connected_components(gd, subset)
+        whole = average_degree(gd, subset)
+        best = max(average_degree(gd, c) for c in components)
+        assert best >= whole - 1e-9
+
+
+class TestProperty2:
+    @given(st.data())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            # Disconnected supports with f >= 0 are genuinely rare among
+            # random embeddings; the assume() filters are the property's
+            # precondition, not a generation bug.
+            HealthCheck.filter_too_much,
+        ],
+    )
+    def test_connected_support_at_least_as_good(self, data):
+        """Property 2: if f(x) >= 0 and the support is disconnected, some
+        component (renormalised) does at least as well."""
+        gd = data.draw(signed_graphs())
+        x = data.draw(embeddings_on(list(gd.vertices())))
+        value = affinity(gd, x)
+        assume(value >= 0.0)
+        support = set(x)
+        components = connected_components(gd, support)
+        assume(len(components) > 1)
+        best = -math.inf
+        for component in components:
+            mass = sum(x[u] for u in component)
+            if mass <= 0:
+                continue
+            restricted = {u: x[u] / mass for u in component}
+            best = max(best, affinity(gd, restricted))
+        assert best >= value - 1e-9
+
+
+class TestMotzkinStraus:
+    @given(signed_graphs(max_n=9))
+    @settings(max_examples=25, deadline=None)
+    def test_unweighted_optimum_is_clique_number(self, gd):
+        """On the unweighted positive skeleton: max x^T A x = 1 - 1/omega."""
+        from repro.graph.cliques import max_clique_number
+
+        skeleton = Graph()
+        skeleton.add_vertices(gd.vertices())
+        for u, v, w in gd.edges():
+            if w > 0:
+                skeleton.add_edge(u, v, 1.0)
+        assume(skeleton.num_edges > 0)
+        omega = max_clique_number(skeleton)
+        optimum = exact_dcsga(skeleton).objective
+        assert optimum == pytest.approx(1.0 - 1.0 / omega, abs=1e-9)
+
+
+class TestTheorem2:
+    @given(signed_graphs())
+    @settings(**SETTINGS)
+    def test_ratio_bound_holds(self, gd):
+        from repro.core.dcsad import dcs_greedy
+
+        result = dcs_greedy(gd)
+        optimum = exact_dcsad(gd).density
+        assert result.density <= optimum + 1e-9
+        if result.ratio_bound is not None:
+            assert optimum <= result.ratio_bound * result.density + 1e-9
+
+
+class TestTheorem5:
+    @given(signed_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_positive_clique_solution_is_optimal(self, gd):
+        """The positive-clique-restricted optimum (exact_dcsga) can never
+        be beaten by random simplex points — i.e. restricting to positive
+        cliques loses nothing."""
+        import numpy as np
+
+        from repro.graph.matrices import affinity_matrix
+
+        optimum = exact_dcsga(gd).objective
+        matrix, order = affinity_matrix(gd)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            raw = rng.exponential(size=len(order))
+            x = raw / raw.sum()
+            assert float(x @ matrix @ x) <= optimum + 1e-9
+
+
+class TestTheorem6:
+    @given(signed_graphs())
+    @settings(**SETTINGS)
+    def test_mu_bound(self, gd):
+        from repro.core.initialization import smart_initialization_plan
+
+        gd_plus = gd.positive_part()
+        plan = smart_initialization_plan(gd_plus)
+        best = exact_dcsga(gd)
+        if not best.support or best.objective == 0.0:
+            return
+        for u in best.support:
+            assert best.objective <= plan.mu[u] + 1e-9
+
+
+class TestExpansionIdentity:
+    @given(st.data())
+    @settings(**SETTINGS)
+    def test_objective_mode_never_decreases(self, data):
+        """With lambda_mode='objective', expansion is unconditional ascent
+        — even from arbitrary (non-KKT) points."""
+        from repro.core.expansion import expansion_step
+
+        gd = data.draw(signed_graphs())
+        gd_plus = gd.positive_part()
+        assume(gd_plus.num_edges > 0)
+        x = data.draw(embeddings_on(list(gd_plus.vertices())))
+        step = expansion_step(gd_plus, x, lambda_mode="objective")
+        if step.expanded:
+            assert step.objective_after >= step.objective_before - 1e-9
+
+
+class TestSolverAgreement:
+    @given(signed_graphs(max_n=9))
+    @settings(max_examples=25, deadline=None)
+    def test_newsea_between_zero_and_optimum(self, gd):
+        from repro.core.newsea import new_sea
+
+        result = new_sea(gd.positive_part())
+        optimum = exact_dcsga(gd).objective
+        assert -1e-9 <= result.objective <= optimum + 1e-6
+
+    @given(signed_graphs(max_n=9))
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_subset_density_well_formed(self, gd):
+        from repro.core.dcsad import dcs_greedy
+
+        result = dcs_greedy(gd)
+        assert result.subset <= gd.vertex_set()
+        measured = gd.total_degree(result.subset) / len(result.subset)
+        assert measured == pytest.approx(result.density, abs=1e-9)

@@ -1,0 +1,103 @@
+"""Tests for the Refinement step (Algorithm 4 / Theorem 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.refinement import is_positive_clique_solution, refine
+from repro.core.seacd import seacd_from_vertex
+from repro.graph.cliques import is_clique
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+
+
+class TestBasics:
+    def test_empty_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            refine(triangle, {})
+
+    def test_clique_input_unchanged(self):
+        graph = complete_graph(4)
+        x = {u: 0.25 for u in range(4)}
+        result = refine(graph, x)
+        assert result.merges == 0
+        assert result.x == x
+
+    def test_singleton_is_already_clique(self, triangle):
+        result = refine(triangle, {"a": 1.0})
+        assert result.merges == 0
+        assert result.x == {"a": 1.0}
+
+    def test_non_adjacent_pair_merged(self):
+        """A path a-b-c: support {a, c} has no edge -> merge to one."""
+        graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+        result = refine(graph, {"a": 0.5, "c": 0.5})
+        assert is_clique(graph, result.x)
+        assert result.merges >= 1
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_output_is_clique_of_gd_plus(self, seed):
+        gd_plus = random_signed_graph(20, 0.3, seed=seed).positive_part()
+        start = sorted(gd_plus.vertices(), key=repr)[0]
+        kkt = seacd_from_vertex(gd_plus, start)
+        refined = refine(gd_plus, kkt.x)
+        assert is_clique(gd_plus, refined.x)
+        assert is_positive_clique_solution(gd_plus, refined.x)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_objective_never_decreases(self, seed):
+        """Theorem 5: f(y) >= f(x) through the whole construction."""
+        gd_plus = random_signed_graph(20, 0.35, seed=seed).positive_part()
+        start = sorted(gd_plus.vertices(), key=repr)[0]
+        kkt = seacd_from_vertex(gd_plus, start)
+        refined = refine(gd_plus, kkt.x)
+        assert refined.objective >= refined.initial_objective - 1e-6
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_support_shrinks_into_input_support(self, seed):
+        """Theorem 5 guarantees S_y is a subset of S_x."""
+        gd_plus = random_signed_graph(18, 0.35, seed=seed).positive_part()
+        start = sorted(gd_plus.vertices(), key=repr)[0]
+        kkt = seacd_from_vertex(gd_plus, start)
+        refined = refine(gd_plus, kkt.x)
+        assert set(refined.x) <= set(kkt.x)
+
+    def test_positive_clique_in_signed_graph(self):
+        """Refining on GD+ makes the support a *positive* clique of GD."""
+        from repro.graph.cliques import is_positive_clique
+
+        for seed in range(8):
+            gd = random_signed_graph(18, 0.4, seed=seed)
+            gd_plus = gd.positive_part()
+            start = sorted(gd.vertices(), key=repr)[0]
+            kkt = seacd_from_vertex(gd_plus, start)
+            refined = refine(gd_plus, kkt.x)
+            assert is_positive_clique(gd, refined.x)
+
+    def test_simplex_preserved(self):
+        for seed in range(8):
+            gd_plus = random_signed_graph(15, 0.4, seed=seed).positive_part()
+            start = sorted(gd_plus.vertices(), key=repr)[0]
+            kkt = seacd_from_vertex(gd_plus, start)
+            refined = refine(gd_plus, kkt.x)
+            assert sum(refined.x.values()) == pytest.approx(1.0, abs=1e-8)
+            assert all(v > 0 for v in refined.x.values())
+
+
+class TestObjectiveConsistency:
+    def test_affinity_on_clique_equal_in_gd_and_gd_plus(self):
+        """On a positive-clique support, f_D(x) == f_{D+}(x) — the identity
+        justifying running the pipeline on GD+ alone."""
+        from repro.analysis.metrics import affinity
+
+        for seed in range(8):
+            gd = random_signed_graph(15, 0.45, seed=seed)
+            gd_plus = gd.positive_part()
+            start = sorted(gd.vertices(), key=repr)[0]
+            kkt = seacd_from_vertex(gd_plus, start)
+            refined = refine(gd_plus, kkt.x)
+            assert affinity(gd, refined.x) == pytest.approx(
+                affinity(gd_plus, refined.x), abs=1e-9
+            )

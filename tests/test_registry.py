@@ -1,0 +1,84 @@
+"""Tests for the Table II dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import BUILDERS, build_all
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return build_all(scale=0.25)
+
+
+class TestRegistry:
+    def test_sixteen_rows(self, entries):
+        assert len(entries) == 16
+
+    def test_row_identities_match_paper(self, entries):
+        triples = [(e.data, e.setting, e.gd_type) for e in entries]
+        assert triples == [
+            ("DBLP", "Weighted", "Emerging"),
+            ("DBLP", "Weighted", "Disappearing"),
+            ("DBLP", "Discrete", "Emerging"),
+            ("DBLP", "Discrete", "Disappearing"),
+            ("DM", "-", "Emerging"),
+            ("DM", "-", "Disappearing"),
+            ("Wiki", "-", "Consistent"),
+            ("Wiki", "-", "Conflicting"),
+            ("Movie", "-", "Interest-Social"),
+            ("Movie", "-", "Social-Interest"),
+            ("Book", "-", "Interest-Social"),
+            ("Book", "-", "Social-Interest"),
+            ("DBLP-C", "Weighted", "-"),
+            ("DBLP-C", "Discrete", "-"),
+            ("Actor", "Weighted", "-"),
+            ("Actor", "Discrete", "-"),
+        ]
+
+    def test_paired_rows_are_sign_flips(self, entries):
+        by_key = {(e.data, e.setting, e.gd_type): e.graph for e in entries}
+        assert by_key[("DBLP", "Weighted", "Emerging")] == by_key[
+            ("DBLP", "Weighted", "Disappearing")
+        ].negated()
+        assert by_key[("Wiki", "-", "Consistent")] == by_key[
+            ("Wiki", "-", "Conflicting")
+        ].negated()
+
+    def test_actor_rows_positive_only(self, entries):
+        for entry in entries:
+            if entry.data == "Actor":
+                stats = entry.stats()
+                assert stats.num_negative_edges == 0
+
+    def test_discrete_rows_have_small_weights(self, entries):
+        for entry in entries:
+            if entry.data == "DBLP" and entry.setting == "Discrete":
+                stats = entry.stats()
+                assert stats.max_weight <= 2.0
+                assert stats.min_weight >= -2.0
+
+    def test_family_filter(self):
+        entries = build_all(scale=0.25, families=("DM",))
+        assert len(entries) == 2
+        assert all(e.data == "DM" for e in entries)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            build_all(families=("Netflix",))
+
+    def test_builders_cover_all_families(self):
+        assert set(BUILDERS) == {
+            "DBLP",
+            "DM",
+            "Wiki",
+            "Douban",
+            "DBLP-C",
+            "Actor",
+        }
+
+    def test_scale_changes_size(self):
+        small = BUILDERS["DBLP"](scale=0.2)[0]
+        large = BUILDERS["DBLP"](scale=0.4)[0]
+        assert large.stats().num_vertices > small.stats().num_vertices

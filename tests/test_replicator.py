@@ -1,0 +1,105 @@
+"""Tests for replicator dynamics (the original SEA shrink stage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.affinity.replicator import replicator_dynamics
+from repro.analysis.metrics import affinity
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+
+
+class TestValidation:
+    def test_empty_start_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            replicator_dynamics(triangle, {})
+
+    def test_negative_weights_rejected(self):
+        # f(x0) > 0 so the dynamics actually run and hit the negative
+        # (Dx) entry at vertex b.
+        graph = Graph.from_edges([("a", "b", -1.0), ("a", "c", 2.0)])
+        with pytest.raises(ValueError, match="nonnegative"):
+            replicator_dynamics(
+                graph, {"a": 0.4, "b": 0.3, "c": 0.3}, rule="objective"
+            )
+
+
+class TestDynamics:
+    def test_single_vertex_fixed_point(self, triangle):
+        result = replicator_dynamics(triangle, {"a": 1.0})
+        assert result.converged
+        assert result.x == {"a": 1.0}
+        assert result.objective == 0.0
+
+    def test_uniform_clique_fixed_point(self):
+        graph = complete_graph(4)
+        result = replicator_dynamics(graph, {u: 0.25 for u in range(4)})
+        assert result.converged
+        assert result.objective == pytest.approx(0.75, abs=1e-6)
+
+    def test_objective_monotone_nondecreasing(self):
+        """Baum-Eagon: the replicator never decreases x^T D x (D >= 0)."""
+        for seed in range(8):
+            gd_plus = random_signed_graph(15, 0.4, seed=seed).positive_part()
+            support = sorted(gd_plus.vertices(), key=repr)[:6]
+            x = {u: 1.0 / len(support) for u in support}
+            before = affinity(gd_plus, x)
+            result = replicator_dynamics(gd_plus, x, rule="objective")
+            assert result.objective >= before - 1e-9
+
+    def test_support_never_grows(self):
+        for seed in range(8):
+            gd_plus = random_signed_graph(15, 0.4, seed=seed).positive_part()
+            support = sorted(gd_plus.vertices(), key=repr)[:6]
+            x = {u: 1.0 / len(support) for u in support}
+            result = replicator_dynamics(gd_plus, x)
+            assert set(result.x) <= set(support)
+
+    def test_simplex_preserved(self):
+        for seed in range(6):
+            gd_plus = random_signed_graph(12, 0.5, seed=seed).positive_part()
+            support = sorted(gd_plus.vertices(), key=repr)[:5]
+            x = {u: 0.2 for u in support}
+            result = replicator_dynamics(gd_plus, x)
+            assert sum(result.x.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestConvergenceRules:
+    def test_gradient_rule_reaches_local_kkt(self):
+        from repro.core.kkt import check_kkt
+
+        graph = complete_graph(5)
+        x = {0: 0.4, 1: 0.3, 2: 0.2, 3: 0.05, 4: 0.05}
+        result = replicator_dynamics(
+            graph, x, rule="gradient", tol=1e-8, max_iterations=200_000
+        )
+        assert result.converged
+        report = check_kkt(graph, result.x, subset=set(range(5)), tol=1e-6)
+        assert report.is_kkt
+
+    def test_objective_rule_can_stop_before_kkt(self):
+        """The paper's point (Section V-C): the loose Delta-f condition
+        stops while the gradient gap is still large on slow dynamics."""
+        from repro.core.kkt import check_kkt
+
+        # A weighted path: convergence toward the heavy end is slow.
+        graph = Graph.from_edges(
+            [("a", "b", 1.0), ("b", "c", 1.0001), ("c", "d", 1.0)]
+        )
+        x = {u: 0.25 for u in "abcd"}
+        loose = replicator_dynamics(graph, x, rule="objective", tol=1e-6)
+        report = check_kkt(
+            graph, loose.x, subset=set("abcd"), tol=1e-6
+        )
+        assert loose.converged
+        assert not report.is_kkt
+
+    def test_gradient_rule_slower_than_objective_rule(self):
+        graph = complete_graph(6)
+        x = {u: (0.5 if u == 0 else 0.1) for u in range(6)}
+        loose = replicator_dynamics(graph, dict(x), rule="objective", tol=1e-6)
+        strict = replicator_dynamics(
+            graph, dict(x), rule="gradient", tol=1e-10, max_iterations=500_000
+        )
+        assert strict.iterations >= loose.iterations

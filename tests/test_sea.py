@@ -1,0 +1,107 @@
+"""Tests for the original SEA baseline (loose convergence, expansion errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.affinity.sea import sea, sea_refine_solver
+from repro.core.newsea import solve_all_initializations
+from repro.core.seacd import seacd_from_vertex
+from repro.graph.cliques import is_clique
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+
+
+class TestBasics:
+    def test_empty_start_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            sea(triangle, {})
+
+    def test_clique_optimum(self):
+        result = sea(complete_graph(5), {0: 1.0})
+        assert result.converged
+        assert result.objective == pytest.approx(0.8, abs=1e-3)
+
+    def test_isolated_vertex(self):
+        graph = Graph.from_edges([("a", "b", 1.0)], vertices=["z"])
+        result = sea(graph, {"z": 1.0})
+        assert result.converged
+        assert result.objective == 0.0
+
+
+class TestAgainstSEACD:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_comparable_quality(self, seed):
+        """SEA with refinement lands near the SEACD objective; the loose
+        condition costs accuracy, not orders of magnitude."""
+        gd_plus = random_signed_graph(20, 0.35, seed=seed).positive_part()
+        start = sorted(gd_plus.vertices(), key=repr)[0]
+        baseline = sea(gd_plus, {start: 1.0})
+        ours = seacd_from_vertex(gd_plus, start)
+        assert baseline.objective <= ours.objective + 0.15
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_strict_rule_has_no_expansion_errors(self, seed):
+        gd_plus = random_signed_graph(25, 0.35, seed=seed).positive_part()
+        start = sorted(gd_plus.vertices(), key=repr)[0]
+        result = sea(
+            gd_plus,
+            {start: 1.0},
+            shrink_rule="gradient",
+            shrink_tol=1e-10,
+        )
+        assert result.stats.expansion_errors == 0
+
+    def test_loose_rule_produces_errors_on_contrast_graphs(self):
+        """Table VII / Fig. 2b: on heterogeneous difference graphs
+        (planted heavy structure over background noise — where the
+        replicator converges slowly) the loose Delta-f rule stops before
+        local KKT points and the expansion stage errs at least once."""
+        from repro.core.difference import difference_graph, flip
+        from repro.datasets.synthetic_dblp import coauthor_snapshots
+
+        total_errors = 0
+        for seed in range(4):
+            dataset = coauthor_snapshots(
+                n_authors=280, n_communities=14, seed=seed
+            )
+            gd = difference_graph(dataset.g1, dataset.g2)
+            for graph in (gd, flip(gd)):
+                result = solve_all_initializations(
+                    graph.positive_part(),
+                    solver=sea_refine_solver(shrink_tol=1e-6),
+                )
+                total_errors += result.expansion_errors
+        assert total_errors > 0
+
+    def test_error_counter_matches_trace(self):
+        """Errors are exactly the objective decreases after expansions."""
+        gd_plus = random_signed_graph(
+            30, 0.5, positive_fraction=1.0, seed=3
+        )
+        start = sorted(gd_plus.vertices(), key=repr)[0]
+        result = sea(gd_plus, {start: 1.0})
+        assert result.stats.expansion_errors >= 0
+        assert result.stats.expansions >= result.stats.expansion_errors
+
+
+class TestSolverAdapter:
+    def test_adapter_returns_cliques(self):
+        gd_plus = random_signed_graph(15, 0.4, seed=5).positive_part()
+        solver = sea_refine_solver()
+        for vertex in sorted(gd_plus.vertices(), key=repr)[:5]:
+            x, objective, errors = solver(gd_plus, vertex)
+            assert is_clique(gd_plus, x)
+            assert objective >= 0.0
+            assert errors >= 0
+
+    def test_adapter_with_all_inits_driver(self):
+        gd_plus = random_signed_graph(15, 0.4, seed=6).positive_part()
+        ours = solve_all_initializations(gd_plus)
+        theirs = solve_all_initializations(
+            gd_plus, solver=sea_refine_solver()
+        )
+        # Both should find essentially the same best objective here.
+        assert theirs.best.objective == pytest.approx(
+            ours.best.objective, rel=0.05
+        )

@@ -1,0 +1,87 @@
+"""Tests for union-find."""
+
+from __future__ import annotations
+
+import random
+
+from repro.structures.dsu import DisjointSets
+
+
+class TestBasics:
+    def test_lazy_registration(self):
+        dsu = DisjointSets()
+        assert "a" not in dsu
+        dsu.add("a")
+        assert "a" in dsu
+        assert dsu.set_count == 1
+
+    def test_union_merges(self):
+        dsu = DisjointSets("abc")
+        assert dsu.union("a", "b")
+        assert dsu.connected("a", "b")
+        assert not dsu.connected("a", "c")
+        assert dsu.set_count == 2
+
+    def test_union_same_set_returns_false(self):
+        dsu = DisjointSets()
+        dsu.union("a", "b")
+        assert not dsu.union("b", "a")
+
+    def test_union_registers_unknown_items(self):
+        dsu = DisjointSets()
+        dsu.union("x", "y")
+        assert "x" in dsu and "y" in dsu
+
+    def test_size_of(self):
+        dsu = DisjointSets("abcd")
+        dsu.union("a", "b")
+        dsu.union("b", "c")
+        assert dsu.size_of("a") == 3
+        assert dsu.size_of("d") == 1
+
+    def test_sets_enumeration(self):
+        dsu = DisjointSets("abcde")
+        dsu.union("a", "b")
+        dsu.union("c", "d")
+        groups = sorted(sorted(group) for group in dsu.sets())
+        assert groups == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_connected_unknown_items(self):
+        dsu = DisjointSets("a")
+        assert not dsu.connected("a", "ghost")
+        assert not dsu.connected("ghost", "phantom")
+
+
+class TestRandomized:
+    def test_against_reference_partition(self):
+        """Compare against a naive merge-by-rebuild implementation."""
+        rng = random.Random(11)
+        n = 200
+        dsu = DisjointSets(range(n))
+        reference = {i: {i} for i in range(n)}
+
+        def ref_find(x):
+            for root, members in reference.items():
+                if x in members:
+                    return root
+            raise AssertionError
+
+        for _ in range(500):
+            a, b = rng.randrange(n), rng.randrange(n)
+            ra, rb = ref_find(a), ref_find(b)
+            if ra != rb:
+                reference[ra] |= reference.pop(rb)
+            dsu.union(a, b)
+        assert dsu.set_count == len(reference)
+        for _ in range(200):
+            a, b = rng.randrange(n), rng.randrange(n)
+            assert dsu.connected(a, b) == (ref_find(a) == ref_find(b))
+
+    def test_path_compression_consistency(self):
+        dsu = DisjointSets(range(100))
+        # Build a long chain then query every element.
+        for i in range(99):
+            dsu.union(i, i + 1)
+        roots = {dsu.find(i) for i in range(100)}
+        assert len(roots) == 1
+        assert dsu.size_of(0) == 100

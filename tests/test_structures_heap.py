@@ -1,0 +1,164 @@
+"""Tests for the addressable indexed heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.heap import IndexedHeap
+
+
+class TestBasics:
+    def test_empty_heap_is_falsy(self):
+        heap = IndexedHeap()
+        assert len(heap) == 0
+        assert not heap
+
+    def test_push_and_peek(self):
+        heap = IndexedHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        assert heap.peek_min() == ("b", 1.0)
+        assert len(heap) == 2
+
+    def test_pop_in_sorted_order(self):
+        heap = IndexedHeap([("a", 5.0), ("b", 2.0), ("c", 9.0), ("d", 1.0)])
+        order = [heap.pop_min()[0] for _ in range(len(heap))]
+        assert order == ["d", "b", "a", "c"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().pop_min()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().peek_min()
+
+    def test_duplicate_push_rejected(self):
+        heap = IndexedHeap([("a", 1.0)])
+        with pytest.raises(ValueError):
+            heap.push("a", 2.0)
+
+    def test_contains_and_key_of(self):
+        heap = IndexedHeap([("a", 1.0)])
+        assert "a" in heap
+        assert "b" not in heap
+        assert heap.key_of("a") == 1.0
+
+    def test_key_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().key_of("ghost")
+
+
+class TestUpdates:
+    def test_decrease_key_moves_to_front(self):
+        heap = IndexedHeap([("a", 5.0), ("b", 2.0)])
+        heap.update("a", 0.5)
+        assert heap.peek_min() == ("a", 0.5)
+
+    def test_increase_key_moves_back(self):
+        heap = IndexedHeap([("a", 1.0), ("b", 2.0)])
+        heap.update("a", 10.0)
+        assert heap.peek_min() == ("b", 2.0)
+
+    def test_adjust_adds_delta(self):
+        heap = IndexedHeap([("a", 1.0)])
+        heap.adjust("a", -3.0)
+        assert heap.key_of("a") == -2.0
+
+    def test_negative_keys_supported(self):
+        # Peeling difference graphs produces negative degrees routinely.
+        heap = IndexedHeap([("a", -5.0), ("b", 3.0), ("c", -1.0)])
+        assert heap.pop_min() == ("a", -5.0)
+        assert heap.pop_min() == ("c", -1.0)
+
+    def test_push_or_update(self):
+        heap = IndexedHeap()
+        heap.push_or_update("a", 4.0)
+        heap.push_or_update("a", 1.0)
+        assert heap.key_of("a") == 1.0
+        assert len(heap) == 1
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().update("ghost", 1.0)
+
+
+class TestRemoval:
+    def test_remove_returns_key(self):
+        heap = IndexedHeap([("a", 1.0), ("b", 2.0), ("c", 3.0)])
+        assert heap.remove("b") == 2.0
+        assert "b" not in heap
+        assert heap.check_invariant()
+
+    def test_remove_root(self):
+        heap = IndexedHeap([("a", 1.0), ("b", 2.0)])
+        heap.remove("a")
+        assert heap.peek_min() == ("b", 2.0)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().remove("ghost")
+
+
+class TestRandomized:
+    def test_matches_sorted_reference(self):
+        rng = random.Random(42)
+        items = [(i, rng.uniform(-100, 100)) for i in range(200)]
+        heap = IndexedHeap(items)
+        expected = sorted(items, key=lambda kv: kv[1])
+        popped = [heap.pop_min() for _ in range(len(items))]
+        assert [k for k, _ in popped] == [
+            k for k, _ in sorted(popped, key=lambda kv: kv[1])
+        ]
+        assert sorted(v for _, v in popped) == sorted(v for _, v in expected)
+
+    def test_interleaved_operations_keep_invariant(self):
+        rng = random.Random(7)
+        heap = IndexedHeap()
+        alive = {}
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.5 or not alive:
+                key = rng.uniform(-50, 50)
+                item = f"item{step}"
+                heap.push(item, key)
+                alive[item] = key
+            elif op < 0.8:
+                item = rng.choice(list(alive))
+                key = rng.uniform(-50, 50)
+                heap.update(item, key)
+                alive[item] = key
+            else:
+                item, key = heap.pop_min()
+                assert key == min(alive.values())
+                del alive[item]
+        assert heap.check_invariant()
+        assert len(heap) == len(alive)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.floats(-1e6, 1e6)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_heap_pops_global_minimum(pairs):
+    """Property: pop_min always returns the smallest live key."""
+    heap = IndexedHeap()
+    live = {}
+    for item, key in pairs:
+        if item in heap:
+            heap.update(item, key)
+        else:
+            heap.push(item, key)
+        live[item] = key
+    while heap:
+        item, key = heap.pop_min()
+        assert key == min(live.values())
+        assert live.pop(item) == key

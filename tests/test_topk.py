@@ -1,0 +1,126 @@
+"""Tests for top-k DCS mining (the future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topk import RankedDCS, coverage, top_k_dcsad, top_k_dcsga
+from repro.graph.cliques import is_clique
+from repro.graph.generators import complete_graph, random_signed_graph
+from repro.graph.graph import Graph
+
+
+def _two_cliques_gd() -> Graph:
+    """Two disjoint positive cliques of different strength + noise."""
+    gd = complete_graph(4, weight=3.0)
+    for u, v in (("x", "y"), ("y", "z"), ("x", "z")):
+        gd.add_edge(u, v, 2.0)
+    gd.add_edge(0, "n", -1.0)
+    return gd
+
+
+class TestTopKDCSGA:
+    def test_k_must_be_positive(self, triangle):
+        with pytest.raises(ValueError):
+            top_k_dcsga(triangle, 0)
+
+    def test_finds_both_cliques_in_order(self):
+        gd = _two_cliques_gd()
+        results = top_k_dcsga(gd.positive_part(), k=2)
+        assert len(results) == 2
+        assert results[0].subset == {0, 1, 2, 3}
+        assert results[1].subset == {"x", "y", "z"}
+        assert results[0].objective > results[1].objective
+
+    def test_objectives_sorted(self):
+        gd_plus = random_signed_graph(25, 0.3, seed=1).positive_part()
+        results = top_k_dcsga(gd_plus, k=5)
+        objectives = [r.objective for r in results]
+        assert objectives == sorted(objectives, reverse=True)
+
+    def test_diversified_supports_disjoint(self):
+        gd_plus = random_signed_graph(25, 0.3, seed=2).positive_part()
+        results = top_k_dcsga(gd_plus, k=5, diversify=True)
+        seen = set()
+        for item in results:
+            assert not (item.subset & seen)
+            seen |= item.subset
+
+    def test_non_diversified_can_overlap(self):
+        gd_plus = random_signed_graph(25, 0.35, seed=3).positive_part()
+        loose = top_k_dcsga(gd_plus, k=8, diversify=False)
+        tight = top_k_dcsga(gd_plus, k=8, diversify=True)
+        assert len(loose) >= len(tight)
+
+    def test_all_answers_are_cliques(self):
+        gd_plus = random_signed_graph(20, 0.35, seed=4).positive_part()
+        for item in top_k_dcsga(gd_plus, k=4):
+            assert is_clique(gd_plus, item.subset)
+            assert item.embedding is not None
+            assert set(item.embedding) == item.subset
+
+    def test_fewer_than_k_available(self):
+        gd = Graph.from_edges([("a", "b", 1.0)])
+        results = top_k_dcsga(gd, k=5)
+        assert len(results) == 1
+
+
+class TestTopKDCSAD:
+    def test_k_must_be_positive(self, signed_graph):
+        with pytest.raises(ValueError):
+            top_k_dcsad(signed_graph, 0)
+
+    def test_vertex_removal_gives_disjoint_answers(self):
+        gd = _two_cliques_gd()
+        results = top_k_dcsad(gd, k=3, strategy="vertices")
+        assert len(results) == 2  # noise edge is negative: no third answer
+        assert results[0].subset == {0, 1, 2, 3}
+        assert results[1].subset == {"x", "y", "z"}
+        assert not (results[0].subset & results[1].subset)
+
+    def test_edge_removal_allows_overlap(self):
+        # A triangle sharing vertex "b" with a heavy edge.
+        gd = Graph.from_edges(
+            [
+                ("a", "b", 5.0),
+                ("b", "c", 5.0),
+                ("a", "c", 5.0),
+                ("b", "d", 4.0),
+            ]
+        )
+        results = top_k_dcsad(gd, k=2, strategy="edges")
+        assert len(results) == 2
+        assert results[0].subset == {"a", "b", "c"}
+        assert results[1].subset == {"b", "d"}
+
+    def test_unknown_strategy_rejected(self, signed_graph):
+        with pytest.raises(ValueError):
+            top_k_dcsad(signed_graph, 2, strategy="teleport")
+
+    def test_stops_when_no_positive_structure(self):
+        gd = Graph.from_edges([("a", "b", -1.0)])
+        assert top_k_dcsad(gd, k=3) == []
+
+    def test_objectives_decreasing(self):
+        gd = random_signed_graph(30, 0.25, seed=5)
+        results = top_k_dcsad(gd, k=4)
+        objectives = [r.objective for r in results]
+        assert objectives == sorted(objectives, reverse=True)
+
+    def test_min_objective_threshold(self):
+        gd = _two_cliques_gd()
+        # The weaker clique has contrast 4.0; threshold above it.
+        results = top_k_dcsad(gd, k=3, min_objective=5.0)
+        assert len(results) == 1
+
+
+class TestCoverage:
+    def test_union_of_subsets(self):
+        results = [
+            RankedDCS(rank=0, subset={"a", "b"}, objective=2.0),
+            RankedDCS(rank=1, subset={"c"}, objective=1.0),
+        ]
+        assert coverage(results) == {"a", "b", "c"}
+
+    def test_empty(self):
+        assert coverage([]) == set()
