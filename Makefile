@@ -1,0 +1,31 @@
+# Developer entry points.  Everything runs from a plain clone — no
+# install needed; PYTHONPATH picks up the src/ layout.
+
+PYTHON      ?= python
+PYTHONPATH  := src
+export PYTHONPATH
+
+.PHONY: test bench-smoke bench docs-check check
+
+## Full test suite (tier-1 gate; fast).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Scalability benchmark only — includes the sparse-vs-python backend
+## speedup gate (>= 5x at the largest planted size) and parity checks.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py -q
+
+## Every table/figure reproduction benchmark (slow; writes rendered
+## artefacts to benchmarks/output/).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Documentation examples must execute: doctest over the README's
+## code blocks fails the build on any broken example.
+docs-check:
+	$(PYTHON) -m doctest README.md
+	@echo "README examples OK"
+
+## Everything a PR should pass.
+check: test docs-check bench-smoke

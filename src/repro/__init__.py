@@ -39,26 +39,36 @@ from repro.graph.graph import Graph, Vertex
 __version__ = "1.0.0"
 
 
-def dcs_average_degree(g1: Graph, g2: Graph, alpha: float = 1.0) -> DCSADResult:
+def dcs_average_degree(
+    g1: Graph, g2: Graph, alpha: float = 1.0, backend: str = "python"
+) -> DCSADResult:
     """Solve DCSAD on the pair ``(G1, G2)``: maximise ``rho_2 - alpha rho_1``.
 
     Builds the difference graph ``D = A2 - alpha A1`` and runs DCSGreedy
     (Algorithm 2).  The result carries the subset, its density contrast,
     and the data-dependent approximation ratio of Theorem 2.
+
+    *backend*: ``"python"`` (pure-Python reference) or ``"sparse"``
+    (vectorised CSR peeling).
     """
-    return dcs_greedy(difference_graph(g1, g2, alpha=alpha))
+    return dcs_greedy(difference_graph(g1, g2, alpha=alpha), backend=backend)
 
 
-def dcs_graph_affinity(g1: Graph, g2: Graph, alpha: float = 1.0) -> DCSGAResult:
+def dcs_graph_affinity(
+    g1: Graph, g2: Graph, alpha: float = 1.0, backend: str = "python"
+) -> DCSGAResult:
     """Solve DCSGA on the pair ``(G1, G2)``: maximise ``f_2(x) - alpha f_1(x)``.
 
     Builds ``GD+`` and runs NewSEA (Algorithm 5).  The returned support
     is always a positive clique of the difference graph (Theorem 5): a
     set of vertices every pair of which is more tightly connected in
     ``G2`` than in ``G1``.
+
+    *backend*: ``"python"`` (pure-Python reference) or ``"sparse"``
+    (vectorised CSR solver kernels).
     """
     gd = difference_graph(g1, g2, alpha=alpha)
-    return new_sea(gd.positive_part())
+    return new_sea(gd.positive_part(), backend=backend)
 
 
 __all__ = [

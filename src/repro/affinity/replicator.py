@@ -64,6 +64,7 @@ def replicator_dynamics(
     rule: ConvergenceRule = "objective",
     tol: float = 1e-6,
     max_iterations: int = 100_000,
+    backend: str = "python",
 ) -> ReplicatorResult:
     """Iterate Eq. 12 from *x0* until the chosen convergence rule fires.
 
@@ -73,7 +74,15 @@ def replicator_dynamics(
 
     The support can only shrink: a zero entry stays zero, and entries
     below :data:`PRUNE_EPS` are dropped (with renormalisation).
+
+    ``backend="sparse"`` runs the same iteration as dense-vector algebra
+    over a CSR matrix: the whole update is two sparse matrix-vector
+    products per step instead of per-vertex dict loops.
     """
+    if backend == "sparse":
+        return _replicator_sparse(graph, x0, rule, tol, max_iterations)
+    if backend != "python":
+        raise ValueError(f"unknown backend {backend!r}")
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
         raise ValueError("initial embedding has empty support")
@@ -125,6 +134,77 @@ def replicator_dynamics(
 
     return ReplicatorResult(
         x=x,
+        objective=objective,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def _replicator_sparse(
+    graph: Graph,
+    x0: Dict[Vertex, float],
+    rule: ConvergenceRule,
+    tol: float,
+    max_iterations: int,
+) -> ReplicatorResult:
+    """Vectorised replicator dynamics on a CSR adjacency.
+
+    Mirrors the python loop exactly — same convergence rules, same
+    pruning threshold, same renormalisation guard — with the per-vertex
+    work replaced by ``x ⊙ (Dx) / (x^T D x)`` array expressions.
+    """
+    import numpy as np
+
+    from repro.graph.sparse import CSRAdjacency
+
+    adj = CSRAdjacency.from_graph(graph)
+    x = adj.embedding_vector({u: w for u, w in x0.items() if w > 0.0})
+    if not (x > 0.0).any():
+        raise ValueError("initial embedding has empty support")
+
+    iterations = 0
+    converged = False
+    dx = adj.matvec(x)
+    objective = float(x @ dx)
+    while iterations < max_iterations:
+        support = x > 0.0
+        if objective <= 0.0:
+            # f == 0: single vertex or edgeless support — the replicator
+            # update is 0/0; the point is trivially a local KKT point.
+            converged = True
+            break
+        numerators = dx[support]
+        if rule == "gradient":
+            if 2.0 * float(numerators.max() - numerators.min()) <= tol:
+                converged = True
+                break
+        if (numerators < 0.0).any():
+            raise ValueError(
+                "replicator dynamics requires nonnegative weights; "
+                "run it on GD+, not GD"
+            )
+
+        new_x = np.where(support, x * dx / objective, 0.0)
+        new_x[new_x <= PRUNE_EPS] = 0.0
+        if not (new_x > 0.0).any():
+            # All mass decayed (possible only with zero gradients).
+            converged = True
+            break
+        total = float(new_x.sum())
+        if abs(total - 1.0) > 1e-15:
+            new_x /= total
+
+        dx = adj.matvec(new_x)
+        new_objective = float(new_x @ dx)
+        iterations += 1
+        improvement = new_objective - objective
+        x, objective = new_x, new_objective
+        if rule == "objective" and improvement < tol:
+            converged = True
+            break
+
+    return ReplicatorResult(
+        x=adj.embedding_dict(x),
         objective=objective,
         iterations=iterations,
         converged=converged,

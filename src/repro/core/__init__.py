@@ -67,6 +67,14 @@ from repro.core.refinement import (
     refine,
 )
 from repro.core.seacd import SEACDResult, SEACDStats, seacd, seacd_from_vertex
+from repro.core.sparse_solvers import (
+    coordinate_descent_csr,
+    csr_vertex_solver,
+    expansion_step_csr,
+    new_sea_csr,
+    refine_csr,
+    seacd_csr,
+)
 from repro.core.topk import RankedDCS, coverage, top_k_dcsad, top_k_dcsga
 
 __all__ = [
@@ -127,6 +135,13 @@ __all__ = [
     "coverage",
     "top_k_dcsad",
     "top_k_dcsga",
+    # vectorised CSR backend
+    "coordinate_descent_csr",
+    "expansion_step_csr",
+    "seacd_csr",
+    "refine_csr",
+    "new_sea_csr",
+    "csr_vertex_solver",
     # exact oracles
     "ExactDCSAD",
     "ExactDCSGA",

@@ -75,7 +75,9 @@ def dcs_greedy(
 
     Use :func:`dcs_greedy_pair` to start from ``(G1, G2)``.  *seed* only
     matters in the degenerate no-positive-edge case where the paper picks
-    a random vertex.
+    a random vertex.  *backend* selects the peeling priority structure:
+    ``"heap"`` / ``"segment_tree"`` (pure Python) or ``"sparse"`` (the
+    vectorised CSR backend of :mod:`repro.peeling.greedy`).
     """
     if gd.num_vertices == 0:
         raise ValueError("difference graph has no vertices")

@@ -22,10 +22,13 @@ orders of magnitude of work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.graph.cores import core_numbers
 from repro.graph.graph import Graph, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.graph.sparse import CSRAdjacency
 
 
 @dataclass(frozen=True)
@@ -71,12 +74,28 @@ def clique_affinity_upper_bound(tau: int, w: float) -> float:
     return tau * w / (tau + 1.0)
 
 
-def smart_initialization_plan(gd_plus: Graph) -> InitializationPlan:
+def smart_initialization_plan(
+    gd_plus: Graph,
+    backend: str = "python",
+    adjacency: Optional["CSRAdjacency"] = None,
+) -> InitializationPlan:
     """Compute ``mu_u`` for every vertex and the descending trial order.
 
     Ties are broken by weighted degree (denser first) and then by label
     repr for determinism.
+
+    With ``backend="sparse"`` the ``w_u`` bounds, ``mu_u`` values and the
+    trial order are all evaluated in one vectorised pass over the CSR
+    arrays (``mu`` values are bitwise identical to the python backend:
+    only max/division arithmetic is involved, no reordered sums).  Pass a
+    prebuilt *adjacency* to skip the CSR construction.
     """
+    if backend == "sparse":
+        return _smart_initialization_plan_sparse(gd_plus, adjacency)
+    if backend != "python":
+        raise ValueError(f"unknown backend {backend!r}")
+    if adjacency is not None:
+        raise ValueError("adjacency is only meaningful with backend='sparse'")
     weights = ego_max_weights(gd_plus)
     cores = core_numbers(gd_plus)
     mu: Dict[Vertex, float] = {
@@ -92,4 +111,59 @@ def smart_initialization_plan(gd_plus: Graph) -> InitializationPlan:
         order=order,
         ego_max_weight=weights,
         core_number={u: cores.get(u, 0) for u in gd_plus.vertices()},
+    )
+
+
+def _smart_initialization_plan_sparse(
+    gd_plus: Graph, adjacency: Optional["CSRAdjacency"]
+) -> InitializationPlan:
+    """One vectorised pass over the CSR arrays for every ``mu_u``.
+
+    ``w_u`` is two segment-max reductions over the CSR layout (incident
+    max per row, then max of that over each closed neighbourhood); the
+    core numbers come from the O(n + m) bucket algorithm, which is not a
+    bottleneck.  The trial order is one ``lexsort`` on
+    ``(-mu, -degree, index)`` — the index *is* the repr order because
+    :meth:`CSRAdjacency.from_graph` sorts vertices by repr.
+    """
+    import numpy as np
+
+    from repro.graph.sparse import CSRAdjacency
+
+    adj = (
+        adjacency
+        if adjacency is not None
+        else CSRAdjacency.from_graph(gd_plus)
+    )
+    n = adj.n
+    if n == 0:
+        return InitializationPlan(mu={}, order=[], ego_max_weight={}, core_number={})
+
+    row_sizes = adj.unweighted_degrees()
+    nonempty = np.flatnonzero(row_sizes > 0)
+    incident = np.zeros(n, dtype=np.float64)
+    ego = np.zeros(n, dtype=np.float64)
+    if nonempty.size:
+        # reduceat segments run from each listed row start to the next;
+        # consecutive nonempty starts skip over empty rows exactly.
+        starts = adj.indptr[nonempty]
+        incident[nonempty] = np.maximum.reduceat(adj.data, starts)
+        ego[nonempty] = np.maximum(
+            incident[nonempty],
+            np.maximum.reduceat(incident[adj.indices], starts),
+        )
+
+    cores = core_numbers(gd_plus)
+    tau = np.fromiter(
+        (cores.get(v, 0) for v in adj.vertices), dtype=np.float64, count=n
+    )
+    mu = np.where((tau > 0) & (ego > 0), tau * ego / (tau + 1.0), 0.0)
+
+    order_idx = np.lexsort((np.arange(n), -adj.degrees(), -mu))
+    vertices = adj.vertices
+    return InitializationPlan(
+        mu={vertices[i]: float(mu[i]) for i in range(n)},
+        order=[vertices[int(i)] for i in order_idx],
+        ego_max_weight={vertices[i]: float(ego[i]) for i in range(n)},
+        core_number={vertices[i]: int(tau[i]) for i in range(n)},
     )

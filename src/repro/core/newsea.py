@@ -79,6 +79,7 @@ def new_sea(
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
     plan: Optional[InitializationPlan] = None,
+    backend: str = "python",
 ) -> DCSGAResult:
     """Algorithm 5 on the positive part ``GD+`` of a difference graph.
 
@@ -86,6 +87,12 @@ def new_sea(
     (or ``Graph.positive_part()``); Theorem 5 justifies discarding
     negative edges because the Refinement step always lands on a positive
     clique, on which ``f_{D+} = f_D``.
+
+    *backend* selects the solver implementation: ``"python"`` is the
+    dict-of-dicts reference, ``"sparse"`` the vectorised CSR pipeline
+    (:func:`repro.core.sparse_solvers.new_sea_csr`) — same algorithm and
+    convergence rules, one CSR build shared across all initialisations,
+    and the ``mu_u`` bounds evaluated in a single vectorised pass.
     """
     if gd_plus.num_vertices == 0:
         raise ValueError("graph has no vertices")
@@ -95,6 +102,18 @@ def new_sea(
                 "new_sea expects GD+ (positive weights only); "
                 "call positive_part() first"
             )
+
+    if backend == "sparse":
+        from repro.core.sparse_solvers import new_sea_csr
+
+        return new_sea_csr(
+            gd_plus,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            plan=plan,
+        )
+    if backend != "python":
+        raise ValueError(f"unknown backend {backend!r}")
 
     if plan is None:
         plan = smart_initialization_plan(gd_plus)
@@ -140,18 +159,29 @@ def solve_all_initializations(
     max_expansions: int = 10_000,
     vertices: Optional[Sequence[Vertex]] = None,
     drop_subsumed: bool = True,
+    backend: str = "python",
 ) -> AllInitsResult:
     """Initialise from every vertex; collect all deduplicated solutions.
 
     This is *SEACD+Refine* when *solver* is None, and *SEA+Refine* when
     the caller passes :func:`repro.affinity.sea.sea_refine_solver`.
+    With ``backend="sparse"`` (and no explicit *solver*) the default
+    SEACD+Refine solver runs on the vectorised CSR kernels, building the
+    CSR adjacency once for all initialisations.
 
     The returned ``solutions`` follow the paper's Table V / Fig. 3
     post-processing: duplicates removed and (optionally) supports that
     are subsets of other found supports dropped.
     """
     if solver is None:
-        solver = _default_solver(tol_scale, max_expansions)
+        if backend == "sparse":
+            from repro.core.sparse_solvers import csr_vertex_solver
+
+            solver = csr_vertex_solver(gd_plus, tol_scale, max_expansions)
+        elif backend == "python":
+            solver = _default_solver(tol_scale, max_expansions)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
     pool = list(vertices) if vertices is not None else sorted(
         gd_plus.vertices(), key=repr
     )

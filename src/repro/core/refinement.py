@@ -69,6 +69,7 @@ def refine(
     x0: Dict[Vertex, float],
     tol_scale: float = 1e-2,
     max_cd_iterations: int = 100_000,
+    backend: str = "python",
 ) -> RefinementResult:
     """Run Algorithm 4 on *graph* (``GD+``) from the KKT point *x0*.
 
@@ -77,7 +78,27 @@ def refine(
     Theorem 5's ``D(i,j) = 0`` case — but after the first merge the
     iterate is only an approximate KKT point, so keeping the better
     endpoint is the numerically safer choice).
+
+    ``backend="sparse"`` dispatches to the vectorised CSR implementation
+    (:func:`repro.core.sparse_solvers.refine_csr`).
     """
+    if backend == "sparse":
+        from repro.core.sparse_solvers import refine_csr
+
+        x, objective, merges, initial = refine_csr(
+            graph,
+            x0,
+            tol_scale=tol_scale,
+            max_cd_iterations=max_cd_iterations,
+        )
+        return RefinementResult(
+            x=x,
+            objective=objective,
+            merges=merges,
+            initial_objective=initial,
+        )
+    if backend != "python":
+        raise ValueError(f"unknown backend {backend!r}")
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
         raise ValueError("cannot refine an empty embedding")

@@ -54,6 +54,7 @@ def seacd(
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
     max_cd_iterations: int = 100_000,
+    backend: str = "python",
 ) -> SEACDResult:
     """Run Algorithm 3 from the initial embedding *x0*.
 
@@ -71,7 +72,23 @@ def seacd(
         ``tol_scale / |S|`` (paper: ``1e-2 * 1/|S|``).
     max_expansions / max_cd_iterations:
         Safety caps; hitting one returns ``converged=False``.
+    backend:
+        ``"python"`` (reference dict-of-dicts implementation) or
+        ``"sparse"`` (vectorised CSR kernels,
+        :func:`repro.core.sparse_solvers.seacd_csr`).
     """
+    if backend == "sparse":
+        from repro.core.sparse_solvers import seacd_csr
+
+        return seacd_csr(
+            graph,
+            x0,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            max_cd_iterations=max_cd_iterations,
+        )
+    if backend != "python":
+        raise ValueError(f"unknown backend {backend!r}")
     stats = SEACDStats()
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
@@ -117,6 +134,7 @@ def seacd_from_vertex(
     vertex: Vertex,
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
+    backend: str = "python",
 ) -> SEACDResult:
     """Convenience: SEACD initialised at the indicator ``e_vertex``."""
     if not graph.has_vertex(vertex):
@@ -126,4 +144,5 @@ def seacd_from_vertex(
         {vertex: 1.0},
         tol_scale=tol_scale,
         max_expansions=max_expansions,
+        backend=backend,
     )

@@ -45,6 +45,7 @@ def top_k_dcsga(
     k: int,
     diversify: bool = True,
     tol_scale: float = 1e-2,
+    backend: str = "python",
 ) -> List[RankedDCS]:
     """Top-k positive-clique solutions by graph affinity.
 
@@ -52,10 +53,14 @@ def top_k_dcsga(
     configuration behind Table V / Fig. 3) and ranks the deduplicated
     solutions.  With *diversify*, supports are made pairwise disjoint by
     best-first selection, so each answer describes a different group.
+    ``backend="sparse"`` runs every initialisation on the vectorised CSR
+    solver over one shared adjacency.
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    result = solve_all_initializations(gd_plus, tol_scale=tol_scale)
+    result = solve_all_initializations(
+        gd_plus, tol_scale=tol_scale, backend=backend
+    )
     ranked: List[RankedDCS] = []
     used: Set[Vertex] = set()
     for support, x, objective in result.solutions:
@@ -97,6 +102,7 @@ def top_k_dcsad(
     k: int,
     strategy: RemovalStrategy = "vertices",
     min_objective: float = 0.0,
+    backend: str = "heap",
 ) -> List[RankedDCS]:
     """Top-k average-degree contrast subgraphs by iterated DCSGreedy.
 
@@ -105,6 +111,8 @@ def top_k_dcsad(
     deletes only the induced edges — answers may share vertices).  The
     iteration stops early once the best remaining contrast drops to
     *min_objective* (default: only strictly positive answers).
+    *backend* is the peeling backend of each DCSGreedy round
+    (``"heap"``, ``"segment_tree"`` or ``"sparse"``).
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -116,7 +124,7 @@ def top_k_dcsad(
         heaviest = work.max_weight_edge()
         if heaviest is None or heaviest[2] <= 0:
             break
-        result: DCSADResult = dcs_greedy(work)
+        result: DCSADResult = dcs_greedy(work, backend=backend)
         if result.density <= min_objective:
             break
         ranked.append(

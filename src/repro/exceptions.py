@@ -55,3 +55,12 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class InputMismatchError(ReproError, ValueError):
     """Two inputs that must agree (e.g. vertex sets of G1 and G2) do not."""
+
+
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A compute backend was requested but its dependency is missing.
+
+    Raised when ``backend="sparse"`` is selected and SciPy cannot be
+    imported; the pure-Python reference backend is always available.
+    """
+

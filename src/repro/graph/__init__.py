@@ -29,6 +29,7 @@ from repro.graph.cores import (
 )
 from repro.graph.graph import Graph, Vertex
 from repro.graph.io import read_edge_list, read_pair, write_edge_list, write_pair
+from repro.graph.sparse import CSRAdjacency, scipy_available
 from repro.graph.matrices import (
     affinity_matrix,
     embedding_to_vector,
@@ -49,6 +50,8 @@ from repro.graph.views import SubgraphView
 __all__ = [
     "Graph",
     "Vertex",
+    "CSRAdjacency",
+    "scipy_available",
     "SubgraphView",
     "bfs_layers",
     "hop_distances",

@@ -1,0 +1,285 @@
+"""Cross-backend parity: the sparse (CSR/NumPy) and python backends agree.
+
+The sparse backend re-expresses the same algorithms with the same
+convergence rules, so on generic inputs (seeded random graphs, where
+exact floating-point ties have probability ~0) both backends must land
+on the **same supports/subsets** and on objectives equal up to
+floating-point summation order.  Exact bitwise equality is *not*
+guaranteed — dict-order sums vs vectorised dots round differently — so
+objectives are compared with tight relative tolerances.
+
+Covered, per the acceptance criteria: replicator dynamics, SEACD,
+greedy peeling, and the full ``new_sea`` pipeline; plus the building
+blocks (CSR adjacency itself, the vectorised initialisation plan,
+refinement, and the all-initialisations driver).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.affinity.replicator import replicator_dynamics
+from repro.core.dcsad import dcs_greedy
+from repro.core.initialization import smart_initialization_plan
+from repro.core.newsea import new_sea, solve_all_initializations
+from repro.core.refinement import refine
+from repro.core.seacd import seacd
+from repro.exceptions import VertexNotFound
+from repro.graph.generators import random_signed_graph
+from repro.graph.graph import Graph
+from repro.graph.matrices import affinity_matrix
+from repro.graph.sparse import CSRAdjacency
+from repro.peeling.greedy import greedy_peel
+
+SEEDS = (3, 7, 21)
+
+
+def _random_gd(seed: int, n: int = 48, p: float = 0.18) -> Graph:
+    return random_signed_graph(n, p, positive_fraction=0.6, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# the CSR substrate itself
+# ----------------------------------------------------------------------
+class TestCSRAdjacency:
+    def test_matches_dense_affinity_matrix(self):
+        gd = _random_gd(1)
+        adj = CSRAdjacency.from_graph(gd)
+        dense, order = affinity_matrix(gd)
+        assert order == adj.vertices
+        assert np.allclose(adj.matrix.toarray(), dense)
+
+    def test_matvec_and_objective(self):
+        gd = _random_gd(2)
+        adj = CSRAdjacency.from_graph(gd)
+        dense, order = affinity_matrix(gd)
+        rng = np.random.default_rng(0)
+        x = rng.random(len(order))
+        assert np.allclose(adj.matvec(x), dense @ x)
+        assert adj.objective(x) == pytest.approx(float(x @ dense @ x))
+
+    def test_degrees_match_graph(self):
+        gd = _random_gd(3)
+        adj = CSRAdjacency.from_graph(gd)
+        for vertex, i in adj.index.items():
+            assert adj.degrees()[i] == pytest.approx(gd.degree(vertex))
+            assert adj.unweighted_degrees()[i] == gd.unweighted_degree(vertex)
+
+    def test_positive_part(self):
+        gd = _random_gd(4)
+        plus = CSRAdjacency.from_graph(gd).positive_part()
+        dense, _ = affinity_matrix(gd.positive_part())
+        assert np.allclose(plus.matrix.toarray(), dense)
+
+    def test_embedding_round_trip(self):
+        gd = _random_gd(5)
+        adj = CSRAdjacency.from_graph(gd)
+        embedding = {adj.vertices[0]: 0.25, adj.vertices[3]: 0.75}
+        vector = adj.embedding_vector(embedding)
+        assert adj.embedding_dict(vector) == embedding
+        with pytest.raises(VertexNotFound):
+            adj.embedding_vector({"missing-vertex": 1.0})
+
+    def test_dense_block_matches_submatrix(self):
+        gd = _random_gd(6)
+        adj = CSRAdjacency.from_graph(gd)
+        rows = np.array([1, 4, 9, 17])
+        assert np.allclose(
+            adj.dense_block(rows), adj.submatrix(rows).toarray()
+        )
+        # The scatter buffer must be cleanly reset between calls.
+        other = np.array([0, 2, 9])
+        assert np.allclose(
+            adj.dense_block(other), adj.submatrix(other).toarray()
+        )
+
+
+# ----------------------------------------------------------------------
+# replicator dynamics
+# ----------------------------------------------------------------------
+class TestReplicatorParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("rule", ["objective", "gradient"])
+    def test_uniform_start(self, seed, rule):
+        gp = _random_gd(seed).positive_part()
+        x0 = {u: 1.0 / gp.num_vertices for u in gp.vertices()}
+        tol = 1e-6 if rule == "objective" else 1e-3
+        py = replicator_dynamics(gp, x0, rule=rule, tol=tol)
+        sp = replicator_dynamics(gp, x0, rule=rule, tol=tol, backend="sparse")
+        assert sp.converged == py.converged
+        assert sp.iterations == py.iterations
+        assert set(sp.x) == set(py.x)
+        assert sp.objective == pytest.approx(py.objective, rel=1e-9)
+        for vertex, weight in py.x.items():
+            assert sp.x[vertex] == pytest.approx(weight, abs=1e-9)
+
+    def test_rejects_negative_weights(self):
+        gd = Graph.from_edges([("a", "b", 1.0), ("b", "c", -1.0)])
+        x0 = {u: 1.0 / 3.0 for u in "abc"}
+        with pytest.raises(ValueError):
+            replicator_dynamics(gd, x0, backend="sparse")
+
+    def test_unknown_backend(self):
+        gp = _random_gd(0).positive_part()
+        with pytest.raises(ValueError):
+            replicator_dynamics(gp, {next(gp.vertices()): 1.0}, backend="cuda")
+
+
+# ----------------------------------------------------------------------
+# SEACD
+# ----------------------------------------------------------------------
+class TestSEACDParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_from_single_vertices(self, seed):
+        gp = _random_gd(seed).positive_part()
+        for vertex in list(gp.vertices())[::7]:
+            py = seacd(gp, {vertex: 1.0})
+            sp = seacd(gp, {vertex: 1.0}, backend="sparse")
+            assert sp.converged and py.converged
+            assert set(sp.x) == set(py.x)
+            assert sp.objective == pytest.approx(py.objective, rel=1e-6)
+            assert sp.stats.expansions == py.stats.expansions
+
+    def test_empty_support_rejected(self):
+        gp = _random_gd(0).positive_part()
+        with pytest.raises(ValueError):
+            seacd(gp, {}, backend="sparse")
+
+    def test_unknown_backend(self):
+        gp = _random_gd(0).positive_part()
+        with pytest.raises(ValueError):
+            seacd(gp, {next(gp.vertices()): 1.0}, backend="fortran")
+
+
+# ----------------------------------------------------------------------
+# refinement
+# ----------------------------------------------------------------------
+class TestRefineParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lands_on_same_clique(self, seed):
+        gp = _random_gd(seed).positive_part()
+        vertex = next(gp.vertices())
+        kkt = seacd(gp, {vertex: 1.0})
+        py = refine(gp, kkt.x)
+        sp = refine(gp, kkt.x, backend="sparse")
+        assert set(sp.x) == set(py.x)
+        assert sp.objective == pytest.approx(py.objective, rel=1e-6)
+        assert sp.initial_objective == pytest.approx(
+            py.initial_objective, rel=1e-9
+        )
+
+    def test_non_clique_support_is_merged(self):
+        # A path a-b-c is not a clique: refinement must merge it down.
+        gp = Graph.from_edges([("a", "b", 2.0), ("b", "c", 1.0)])
+        x0 = {"a": 0.4, "b": 0.4, "c": 0.2}
+        py = refine(gp, x0)
+        sp = refine(gp, x0, backend="sparse")
+        assert sp.merges == py.merges > 0
+        assert set(sp.x) == set(py.x)
+        assert sp.objective == pytest.approx(py.objective, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# greedy peeling
+# ----------------------------------------------------------------------
+class TestPeelingParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_signed_random_graphs(self, seed):
+        gd = _random_gd(seed)
+        py = greedy_peel(gd, backend="heap")
+        sp = greedy_peel(gd, backend="sparse")
+        assert sp.subset == py.subset
+        assert sp.density == pytest.approx(py.density, rel=1e-9)
+        assert len(sp.order) == len(py.order)
+        assert np.allclose(sp.densities, py.densities)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_positive_part_peel(self, seed):
+        gp = _random_gd(seed).positive_part()
+        py = greedy_peel(gp, backend="segment_tree")
+        sp = greedy_peel(gp, backend="sparse")
+        assert sp.subset == py.subset
+        assert sp.density == pytest.approx(py.density, rel=1e-9)
+
+    def test_single_vertex(self):
+        graph = Graph()
+        graph.add_vertex("only")
+        result = greedy_peel(graph, backend="sparse")
+        assert result.subset == {"only"}
+        assert result.order == ["only"]
+
+    def test_python_alias_means_heap(self):
+        gd = _random_gd(11)
+        assert (
+            greedy_peel(gd, backend="python").subset
+            == greedy_peel(gd, backend="heap").subset
+        )
+
+    def test_dcs_greedy_with_sparse_backend(self):
+        gd = _random_gd(9)
+        py = dcs_greedy(gd, backend="heap")
+        sp = dcs_greedy(gd, backend="sparse")
+        assert sp.subset == py.subset
+        assert sp.density == pytest.approx(py.density, rel=1e-9)
+        assert sp.winner == py.winner
+
+
+# ----------------------------------------------------------------------
+# initialisation plan
+# ----------------------------------------------------------------------
+class TestPlanParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bounds_and_order(self, seed):
+        gp = _random_gd(seed).positive_part()
+        py = smart_initialization_plan(gp)
+        sp = smart_initialization_plan(gp, backend="sparse")
+        # max/div arithmetic only: the bounds are bitwise identical.
+        assert sp.mu == py.mu
+        assert sp.ego_max_weight == py.ego_max_weight
+        assert sp.core_number == py.core_number
+        assert sp.order == py.order
+
+    def test_edgeless_graph(self):
+        graph = Graph()
+        graph.add_vertices("abc")
+        sp = smart_initialization_plan(graph, backend="sparse")
+        assert sp.mu == {"a": 0.0, "b": 0.0, "c": 0.0}
+
+
+# ----------------------------------------------------------------------
+# the full pipelines
+# ----------------------------------------------------------------------
+class TestNewSEAParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_pipeline(self, seed):
+        gp = _random_gd(seed).positive_part()
+        py = new_sea(gp)
+        sp = new_sea(gp, backend="sparse")
+        assert sp.support == py.support
+        assert sp.objective == pytest.approx(py.objective, rel=1e-6)
+        assert sp.is_positive_clique == py.is_positive_clique
+        assert sp.initializations == py.initializations
+
+    def test_edgeless_fallback(self):
+        graph = Graph()
+        graph.add_vertices([2, 1, 3])
+        py = new_sea(graph)
+        sp = new_sea(graph, backend="sparse")
+        assert sp.support == py.support
+        assert sp.objective == py.objective == 0.0
+
+    def test_unknown_backend(self):
+        gp = _random_gd(0).positive_part()
+        with pytest.raises(ValueError):
+            new_sea(gp, backend="dense")
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_all_initializations(self, seed):
+        gp = _random_gd(seed, n=36).positive_part()
+        py = solve_all_initializations(gp)
+        sp = solve_all_initializations(gp, backend="sparse")
+        assert [s[0] for s in sp.solutions] == [s[0] for s in py.solutions]
+        for (_, _, obj_sp), (_, _, obj_py) in zip(sp.solutions, py.solutions):
+            assert obj_sp == pytest.approx(obj_py, rel=1e-6)
+        assert sp.best.support == py.best.support
