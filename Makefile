@@ -5,16 +5,23 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench docs-check check
+.PHONY: test bench-smoke bench-stream bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Scalability benchmark only — includes the sparse-vs-python backend
-## speedup gate (>= 5x at the largest planted size) and parity checks.
+## Scalability + streaming gates: sparse-vs-python backend speedup
+## (>= 5x at the largest planted size) and incremental-engine speedup
+## over snapshot recompute (>= 3x at the largest event count), both
+## with answer-parity checks.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_scalability.py -q
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py -q
+
+## Streaming benchmark only — incremental engine vs naive recompute,
+## alert parity and the >= 3x speedup gate.
+bench-stream:
+	$(PYTHON) -m pytest benchmarks/bench_streaming.py -q
 
 ## Every table/figure reproduction benchmark (slow; writes rendered
 ## artefacts to benchmarks/output/).

@@ -27,15 +27,26 @@ from repro.graph.graph import Graph, Vertex
 Measure = Literal["average_degree", "affinity"]
 
 
-def mean_graph(graphs: Iterable[Graph]) -> Graph:
+def mean_graph(graphs: Iterable[Graph], backend: str = "python") -> Graph:
     """Edge-wise mean of several graphs over the union vertex set.
 
     The natural "expectation" graph of a history window: an edge's weight
     is its average weight across the window (absent = 0).
+
+    ``backend="sparse"`` accumulates the window through one shared
+    vertex-index map and a SciPy COO sum — the per-edge additions run at
+    C speed, which matters when the window is wide and the snapshots are
+    large.  Both backends sum each edge's weights in the same (window)
+    order, so results differ by at most float summation noise on the
+    final division.
     """
     items = list(graphs)
     if not items:
         raise ValueError("cannot average zero graphs")
+    if backend == "sparse":
+        return _mean_graph_sparse(items)
+    if backend != "python":
+        raise ValueError(f"unknown backend {backend!r}")
     result = Graph()
     for graph in items:
         result.add_vertices(graph.vertices())
@@ -43,6 +54,52 @@ def mean_graph(graphs: Iterable[Graph]) -> Graph:
     for graph in items:
         for u, v, weight in graph.edges():
             result.increment_edge(u, v, weight * scale)
+    return result
+
+
+def _mean_graph_sparse(items: List[Graph]) -> Graph:
+    """Vectorised mean: shared index map + one COO accumulation."""
+    import numpy as np
+
+    from repro.graph.sparse import _require_scipy, _scipy_sparse
+
+    _require_scipy()
+    index: dict = {}
+    vertices: List[Vertex] = []
+    for graph in items:
+        for vertex in graph.vertices():
+            if vertex not in index:
+                index[vertex] = len(vertices)
+                vertices.append(vertex)
+    n = len(vertices)
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for graph in items:
+        for u, v, weight in graph.edges():
+            i, j = index[u], index[v]
+            # Canonical upper-triangle entry: snapshots can yield the
+            # same undirected edge in either direction.
+            rows.append(i if i < j else j)
+            cols.append(j if i < j else i)
+            vals.append(weight)
+    # One COO build for the whole window: .tocsr() sums duplicate
+    # positions at C speed (no per-snapshot matrix merges).
+    total = _scipy_sparse.coo_matrix(
+        (
+            np.asarray(vals, dtype=np.float64),
+            (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)),
+        ),
+        shape=(n, n),
+    ).tocsr()
+    mean = total.tocoo()
+    scale = 1.0 / len(items)
+    result = Graph()
+    result.add_vertices(vertices)
+    for i, j, weight in zip(mean.row, mean.col, mean.data):
+        value = float(weight) * scale
+        if value != 0.0:
+            result.add_edge(vertices[int(i)], vertices[int(j)], value)
     return result
 
 
@@ -74,6 +131,10 @@ class ContrastMonitor:
     warmup:
         Steps to observe before emitting alerts (at least 1 so an
         expectation exists; defaults to the window size).
+    backend:
+        ``"python"`` (pure-Python reference) or ``"sparse"`` (the
+        vectorised CSR/NumPy backend) — applied to the window mean and
+        to whichever solver *measure* selects.
     """
 
     def __init__(
@@ -81,14 +142,18 @@ class ContrastMonitor:
         window: int = 5,
         measure: Measure = "average_degree",
         warmup: Optional[int] = None,
+        backend: str = "python",
     ) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
         if measure not in ("average_degree", "affinity"):
             raise ValueError(f"unknown measure {measure!r}")
+        if backend not in ("python", "sparse"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.window = window
         self.measure: Measure = measure
         self.warmup = window if warmup is None else max(1, warmup)
+        self.backend = backend
         self._history: Deque[Graph] = deque(maxlen=window)
         self._step = 0
         self._vertices: Optional[Set[Vertex]] = None
@@ -113,10 +178,10 @@ class ContrastMonitor:
 
         alert: Optional[ContrastAlert] = None
         if len(self._history) >= 1 and self._step >= self.warmup:
-            expected = mean_graph(self._history)
+            expected = mean_graph(self._history, backend=self.backend)
             gd = difference_graph(expected, snapshot)
             if self.measure == "average_degree":
-                result = dcs_greedy(gd)
+                result = dcs_greedy(gd, backend=self.backend)
                 alert = ContrastAlert(
                     step=self._step,
                     subset=set(result.subset),
@@ -124,7 +189,7 @@ class ContrastMonitor:
                     measure=self.measure,
                 )
             else:
-                result = new_sea(gd.positive_part())
+                result = new_sea(gd.positive_part(), backend=self.backend)
                 alert = ContrastAlert(
                     step=self._step,
                     subset=set(result.support),

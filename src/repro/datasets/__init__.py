@@ -10,7 +10,11 @@ exercises (see DESIGN.md section 3 for the substitution rationale):
 * :mod:`~repro.datasets.synthetic_wiki` — Wikipedia editor interactions;
 * :mod:`~repro.datasets.synthetic_douban` — Douban social + ratings;
 * :mod:`~repro.datasets.synthetic_actor` — Actor collaborations;
-* :mod:`~repro.datasets.registry` — the 16 Table II rows by name.
+* :mod:`~repro.datasets.registry` — the 16 Table II rows by name;
+* :mod:`~repro.datasets.temporal` — snapshot streams with planted
+  contrast bursts (for :class:`~repro.core.monitor.ContrastMonitor`);
+* :mod:`~repro.datasets.streaming` — the event-native burst workloads
+  (for :class:`~repro.stream.engine.StreamingDCSEngine`).
 """
 
 from repro.datasets.registry import BUILDERS, build_all
@@ -33,6 +37,7 @@ from repro.datasets.synthetic_text import (
     association_graph,
     keyword_corpus,
 )
+from repro.datasets.streaming import EventStream, burst_event_stream
 from repro.datasets.synthetic_wiki import WikiDataset, wiki_interactions
 from repro.datasets.temporal import TemporalStream, snapshot_stream
 
@@ -57,4 +62,6 @@ __all__ = [
     "wiki_interactions",
     "TemporalStream",
     "snapshot_stream",
+    "EventStream",
+    "burst_event_stream",
 ]

@@ -1,0 +1,630 @@
+"""Incremental streaming DCS engine.
+
+The serving loop of the paper's anomaly use case: ingest
+:class:`~repro.stream.events.EdgeEvent` observations, maintain the
+expectation/difference machinery by deltas
+(:class:`~repro.stream.window.SlidingWindowAccumulator`), track which
+vertices' incident difference weights moved
+(:class:`DirtyRegion`), and answer "what is the densest contrast
+subgraph *right now*" without recomputing from scratch.
+
+Solve scheduling — the incremental driver
+-----------------------------------------
+
+``policy="exact"`` (default) is answer-faithful to batch recompute —
+same alert subsets, scores equal up to float summation order:
+
+* **clean step** → the difference graph is unchanged since the last
+  solve, so the previous answer is provably still the answer; reuse it
+  (``source="cache"``).
+* **dirty step** → run the full solver, but only on the *active
+  subgraph* (vertices with at least one nonzero difference edge) — the
+  rest of the universe is isolated in ``GD`` and cannot join a densest
+  subgraph candidate.
+
+``policy="gated"`` adds the incumbent heuristics on top (trading exact
+answer parity for far fewer full solves under churn).  Difference
+weights move for two reasons — new *events*, and the predictable
+*decay* of old contrast as the window absorbs it — and the gate treats
+them differently:
+
+* **events inside** the incumbent's closed neighbourhood → its
+  structure changed: full solve, with the previous answer
+  *warm-starting* the driver (the re-scored incumbent is kept if the
+  fresh greedy answer is worse — peeling is a heuristic and must never
+  regress below a carried answer).
+* **events elsewhere** → the incumbent's subset is still the local
+  optimum it was; its score is refreshed by an O(|S| + vol S)
+  **re-score** (a CSR submatrix sum on the sparse backend — this is
+  where the patch-and-rebuild mirror earns its keep), and a **local
+  probe** solves only the evented neighbourhood, holding the incumbent
+  unless the probe finds a challenger (→ full solve).
+* **decay / drift fallbacks**: the incumbent is dropped and re-solved
+  once its re-scored contrast falls below ``hold_margin`` of the score
+  that installed it, or once the cumulative evented region since the
+  last full solve covers more than ``drift_ratio`` of the universe.
+
+:func:`snapshot_recompute` is the naive reference: materialise every
+step's snapshot, rebuild the window mean and the difference graph from
+scratch, full solve every step — exactly what
+:class:`repro.core.monitor.ContrastMonitor` does today.  The benchmark
+gates the engine's speedup against it *with identical alert sets*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.dcsad import dcs_greedy
+from repro.core.difference import difference_graph
+from repro.core.monitor import mean_graph
+from repro.core.newsea import new_sea
+from repro.exceptions import InputMismatchError, VertexNotFound
+from repro.graph.graph import Graph, Vertex
+from repro.stream.alerts import (
+    SOURCE_CACHE,
+    SOURCE_INCUMBENT,
+    SOURCE_SOLVE,
+    AlertLog,
+    StreamAlert,
+)
+from repro.stream.events import EdgeEvent, edge_key
+from repro.stream.window import SlidingWindowAccumulator
+
+Measure = str  # "average_degree" | "affinity"
+
+#: Difference weights at or below this magnitude are treated as no edge.
+#: Rebuilt window means carry float-summation noise on stable edges
+#: (``(w + w + w) / 3 != w``); pruning makes the incremental and naive
+#: difference graphs agree on which edges *exist*.
+PRUNE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """What a solve of the current difference graph produced.
+
+    ``x`` carries the affinity embedding (support == subset) so a held
+    incumbent can be re-scored as ``x^T D x`` on the updated difference;
+    it is None for the average-degree measure.
+    """
+
+    subset: FrozenSet[Vertex]
+    score: float
+    x: Optional[Dict[Vertex, float]] = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.subset
+
+
+EMPTY_OUTCOME = SolveOutcome(subset=frozenset(), score=0.0)
+
+
+def solve_difference(
+    diff: Graph,
+    measure: Measure,
+    backend: str = "python",
+    tol_scale: float = 1e-2,
+    seed: int = 0,
+) -> SolveOutcome:
+    """Solve DCS on a (maintained or rebuilt) difference graph.
+
+    Shared by the engine and the naive recompute path, so both sides of
+    every parity check run literally the same solver on the same
+    semantics: restrict to the active subgraph (isolated vertices cannot
+    be part of a positive-density answer), then DCSGreedy
+    (``average_degree``) or NewSEA on ``GD+`` (``affinity``).
+    A difference graph with no edges — or no positive edge under
+    ``affinity`` — yields the empty outcome (score 0, nothing to flag).
+    """
+    active = [u for u in diff.vertices() if diff.unweighted_degree(u) > 0]
+    if not active:
+        return EMPTY_OUTCOME
+    sub = diff.subgraph(active)
+    if measure == "average_degree":
+        result = dcs_greedy(sub, backend=backend, seed=seed)
+        if result.density <= 0.0:
+            return EMPTY_OUTCOME
+        return SolveOutcome(subset=frozenset(result.subset), score=result.density)
+    if measure == "affinity":
+        plus = sub.positive_part()
+        if plus.num_edges == 0:
+            return EMPTY_OUTCOME
+        result = new_sea(plus, tol_scale=tol_scale, backend=backend)
+        if result.objective <= 0.0:
+            return EMPTY_OUTCOME
+        return SolveOutcome(
+            subset=frozenset(result.support),
+            score=result.objective,
+            x=dict(result.x),
+        )
+    raise ValueError(f"unknown measure {measure!r}")
+
+
+class DirtyRegion:
+    """Vertices whose incident difference weights changed since a mark.
+
+    Difference weights move for two very different reasons, and the
+    tracker separates them:
+
+    * **Touched** (``touched_since_answer``): *any* difference-weight
+      change, including the predictable shrink of an edge's contrast as
+      the sliding window absorbs an old surge ("decay").  While anything
+      is touched, a previously solved answer's *score* is stale — this
+      horizon drives cache validity.
+    * **Evented** (``evented_since_answer`` / ``evented_since_full``):
+      changes caused by an actual state change (a new observation).
+      Only these can create *new* contrast structure, so they drive the
+      incumbent-neighbourhood gate, the local-probe region, and the
+      drift fallback.
+    """
+
+    __slots__ = ("touched_since_answer", "evented_since_answer", "evented_since_full")
+
+    def __init__(self) -> None:
+        self.touched_since_answer: Set[Vertex] = set()
+        self.evented_since_answer: Set[Vertex] = set()
+        self.evented_since_full: Set[Vertex] = set()
+
+    def touch(self, u: Vertex, v: Vertex) -> None:
+        self.touched_since_answer.add(u)
+        self.touched_since_answer.add(v)
+
+    def event(self, u: Vertex, v: Vertex) -> None:
+        self.evented_since_answer.add(u)
+        self.evented_since_answer.add(v)
+        self.evented_since_full.add(u)
+        self.evented_since_full.add(v)
+
+    @property
+    def clean(self) -> bool:
+        return not self.touched_since_answer
+
+    def settle(self) -> None:
+        """The pending changes were absorbed by an answer (hold or cache)."""
+        self.touched_since_answer.clear()
+        self.evented_since_answer.clear()
+
+    def reset(self) -> None:
+        """A full solve re-anchored the incumbent everywhere."""
+        self.touched_since_answer.clear()
+        self.evented_since_answer.clear()
+        self.evented_since_full.clear()
+
+
+@dataclass
+class EngineStats:
+    """Counters proving the incremental machinery is actually engaged."""
+
+    steps: int = 0
+    events: int = 0
+    state_changes: int = 0
+    diff_edits: int = 0
+    full_solves: int = 0
+    cache_hits: int = 0
+    local_probes: int = 0
+    incumbent_holds: int = 0
+    rescores: int = 0
+    warm_start_wins: int = 0
+    drift_fallbacks: int = 0
+    csr_patches: int = 0
+    csr_rebuilds: int = 0
+
+
+class StreamingDCSEngine:
+    """Maintain DCS answers over a live stream of edge events.
+
+    Parameters
+    ----------
+    universe:
+        The fixed vertex set of the DCS problem (the paper's ``V``).
+        Events touching unknown vertices raise :class:`VertexNotFound`.
+    window:
+        Number of recent steps forming the expectation (window mean).
+    measure:
+        ``"average_degree"`` (DCSGreedy) or ``"affinity"`` (NewSEA).
+    warmup:
+        Steps to observe before emitting alerts (default: *window*).
+    backend:
+        ``"python"`` or ``"sparse"`` — forwarded to the solvers; with
+        ``"sparse"`` the engine also keeps a patch-and-rebuild
+        :class:`~repro.graph.sparse.MutableCSRAdjacency` mirror of the
+        difference graph for vectorised incumbent re-scoring.
+    policy:
+        ``"exact"`` (cache + full solve; parity with batch recompute) or
+        ``"gated"`` (incumbent-neighbourhood gating, local probes,
+        drift fallback).
+    min_score:
+        Alerts are emitted only for answers scoring strictly above this.
+    drift_ratio:
+        Gated policy: fraction of the universe the cumulative
+        event-dirty region may reach before forcing a full solve.
+    hold_margin:
+        Gated policy: an incumbent is held only while its re-scored
+        contrast stays above ``hold_margin`` times the score of the full
+        solve that produced it; decaying past that triggers a re-solve.
+    """
+
+    def __init__(
+        self,
+        universe: Iterable[Vertex],
+        window: int = 5,
+        measure: Measure = "average_degree",
+        warmup: Optional[int] = None,
+        backend: str = "python",
+        policy: str = "exact",
+        min_score: float = 0.0,
+        drift_ratio: float = 0.5,
+        hold_margin: float = 0.5,
+        tol_scale: float = 1e-2,
+        prune_eps: float = PRUNE_EPS,
+        seed: int = 0,
+    ) -> None:
+        if measure not in ("average_degree", "affinity"):
+            raise ValueError(f"unknown measure {measure!r}")
+        if backend not in ("python", "sparse"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if policy not in ("exact", "gated"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.universe: Set[Vertex] = set(universe)
+        if not self.universe:
+            raise ValueError("universe must not be empty")
+        self.window = window
+        self.measure = measure
+        self.warmup = window if warmup is None else max(1, warmup)
+        self.backend = backend
+        self.policy = policy
+        self.min_score = min_score
+        self.drift_ratio = drift_ratio
+        self.hold_margin = hold_margin
+        self.tol_scale = tol_scale
+        self.prune_eps = prune_eps
+        self.seed = seed
+
+        self._accumulator = SlidingWindowAccumulator(window)
+        self._dirty = DirtyRegion()
+        self.stats = EngineStats()
+        self._cached: Optional[SolveOutcome] = None
+        self._incumbent: Optional[SolveOutcome] = None
+        #: score of the full solve that installed the incumbent
+        self._anchor_score = 0.0
+
+        self._mirror = None
+        if backend == "sparse":
+            from repro.graph.sparse import MutableCSRAdjacency
+
+            base = Graph()
+            base.add_vertices(self.universe)
+            self._mirror = MutableCSRAdjacency(
+                base, order=sorted(self.universe, key=repr)
+            )
+            self._diff = self._mirror.graph
+        else:
+            self._diff = Graph()
+            self._diff.add_vertices(self.universe)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def step(self) -> int:
+        """Index of the open (not yet closed) step."""
+        return self._accumulator.steps_closed
+
+    @property
+    def difference(self) -> Graph:
+        """The maintained difference graph (read-only by convention)."""
+        return self._diff
+
+    @property
+    def accumulator(self) -> SlidingWindowAccumulator:
+        """The underlying window accumulator (for tests/diagnostics)."""
+        return self._accumulator
+
+    def state_graph(self) -> Graph:
+        """Materialise the current persistent snapshot."""
+        return self._accumulator.state_graph(self.universe)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, event: EdgeEvent) -> List[StreamAlert]:
+        """Apply one event, closing any steps its timestamp skips past.
+
+        Returns the alerts emitted by the steps that closed (often
+        none).  Events must arrive in non-decreasing timestamp order.
+        """
+        if event.u not in self.universe:
+            raise VertexNotFound(event.u)
+        if event.v not in self.universe:
+            raise VertexNotFound(event.v)
+        if event.t < self.step:
+            raise InputMismatchError(
+                f"event at t={event.t} arrived after step {self.step} opened"
+            )
+        alerts: List[StreamAlert] = []
+        while self.step < event.t:
+            alert = self._close_step()
+            if alert is not None:
+                alerts.append(alert)
+        self.stats.events += 1
+        if self._accumulator.observe(event.key, event.w):
+            self.stats.state_changes += 1
+            self._dirty.event(event.u, event.v)
+        return alerts
+
+    def advance_to(self, step: int) -> List[StreamAlert]:
+        """Close steps (emitting alerts) until *step* is the open step."""
+        alerts: List[StreamAlert] = []
+        while self.step < step:
+            alert = self._close_step()
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def run(
+        self, events: Iterable[EdgeEvent], n_steps: Optional[int] = None
+    ) -> AlertLog:
+        """Ingest a whole stream; close exactly *n_steps* steps.
+
+        Events at or beyond the *n_steps* horizon are ignored (they
+        belong to steps the caller asked not to close).  Without
+        *n_steps* the stream ends after the last event's step is closed.
+        """
+        log = AlertLog()
+        last = -1
+        for event in events:
+            if n_steps is not None and event.t >= n_steps:
+                continue
+            log.extend(self.ingest(event))
+            last = event.t
+        target = n_steps if n_steps is not None else last + 1
+        log.extend(self.advance_to(target))
+        return log
+
+    # ------------------------------------------------------------------
+    # the per-step close: deltas -> dirty region -> solve scheduling
+    # ------------------------------------------------------------------
+    def _close_step(self) -> Optional[StreamAlert]:
+        t = self.step
+        deltas = self._accumulator.close_step()
+        for (u, v), value in deltas.items():
+            if abs(value) <= self.prune_eps:
+                value = 0.0
+            old = self._diff.weight(u, v)
+            if value == old:
+                continue
+            if self._mirror is not None:
+                self._mirror.set_edge(u, v, value)
+            else:
+                self._diff.add_edge(u, v, value)
+            self._dirty.touch(u, v)
+            self.stats.diff_edits += 1
+        self.stats.steps += 1
+        if self._mirror is not None:
+            self.stats.csr_patches = self._mirror.patches
+            self.stats.csr_rebuilds = self._mirror.rebuilds
+        if t < self.warmup:
+            # Pre-warmup closes still settle the deltas, but nothing is
+            # solved or emitted (the expectation is not trusted yet).
+            return None
+        outcome, source = self._answer()
+        if outcome.empty or outcome.score <= self.min_score:
+            return None
+        return StreamAlert(
+            step=t,
+            subset=outcome.subset,
+            score=outcome.score,
+            measure=self.measure,
+            source=source,
+        )
+
+    def _answer(self) -> Tuple[SolveOutcome, str]:
+        if self._cached is not None and self._dirty.clean:
+            self.stats.cache_hits += 1
+            return self._cached, SOURCE_CACHE
+        if self.policy == "exact" or self._incumbent is None:
+            outcome = self._full_solve(warm=self.policy == "gated")
+            return outcome, SOURCE_SOLVE
+        return self._gated_answer()
+
+    # -- exact path ----------------------------------------------------
+    def _full_solve(self, warm: bool) -> SolveOutcome:
+        outcome = solve_difference(
+            self._diff,
+            self.measure,
+            backend=self.backend,
+            tol_scale=self.tol_scale,
+            seed=self.seed,
+        )
+        if warm and self._incumbent is not None and not self._incumbent.empty:
+            rescored = self._rescore(self._incumbent)
+            if rescored is not None and rescored.score > outcome.score:
+                # Greedy/NewSEA are heuristics: never regress below the
+                # carried answer, which is still a valid subgraph.
+                outcome = rescored
+                self.stats.warm_start_wins += 1
+        self.stats.full_solves += 1
+        self._incumbent = outcome
+        self._anchor_score = outcome.score
+        self._cached = outcome
+        self._dirty.reset()
+        return outcome
+
+    # -- gated path ----------------------------------------------------
+    def _gated_answer(self) -> Tuple[SolveOutcome, str]:
+        """The incumbent-gating decision tree.
+
+        Full solves are forced by (in order): the cumulative event
+        region outgrowing ``drift_ratio`` of the universe; new events
+        inside the incumbent's closed neighbourhood (its structure
+        changed); the incumbent's re-scored contrast decaying below
+        ``hold_margin`` of its anchor; or a local probe of the evented
+        region finding a challenger.  Otherwise the incumbent *subset*
+        is held and emitted with its freshly re-scored contrast.
+        """
+        assert self._incumbent is not None
+        if (
+            len(self._dirty.evented_since_full)
+            > self.drift_ratio * len(self.universe)
+        ):
+            self.stats.drift_fallbacks += 1
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        evented = self._dirty.evented_since_answer
+        if evented & self._closed_neighborhood(self._incumbent.subset):
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        rescored = self._rescore(self._incumbent)
+        if rescored is None:
+            # Nothing to hold (empty incumbent): any change warrants a solve.
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        if rescored.score < self.hold_margin * self._anchor_score:
+            self.stats.drift_fallbacks += 1
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        if evented:
+            probe = self._local_probe()
+            if probe.score > rescored.score:
+                self.stats.drift_fallbacks += 1
+                return self._full_solve(warm=True), SOURCE_SOLVE
+        self.stats.incumbent_holds += 1
+        self._dirty.settle()
+        self._incumbent = rescored
+        self._cached = rescored
+        return rescored, SOURCE_INCUMBENT
+
+    def _closed_neighborhood(self, subset: Iterable[Vertex]) -> Set[Vertex]:
+        members = set(subset)
+        closed = set(members)
+        for vertex in members:
+            closed.update(self._diff.neighbors(vertex))
+        return closed
+
+    def _local_probe(self) -> SolveOutcome:
+        region = self._closed_neighborhood(self._dirty.evented_since_full)
+        self.stats.local_probes += 1
+        return solve_difference(
+            self._diff.subgraph(region & self.universe),
+            self.measure,
+            backend=self.backend,
+            tol_scale=self.tol_scale,
+            seed=self.seed,
+        )
+
+    def _rescore(self, incumbent: SolveOutcome) -> Optional[SolveOutcome]:
+        """Re-evaluate a carried answer's score on the current difference.
+
+        Average degree: the exact ``W(S) / |S|`` of the held subset on
+        the updated graph (vectorised through the CSR mirror when the
+        sparse backend is active — the patched ``data`` array makes this
+        a submatrix sum, no rebuild).  Affinity: ``x^T D x`` with the
+        carried embedding — exact for the carried ``x``, a lower bound
+        on what a re-optimised embedding would score.
+        """
+        if incumbent.empty:
+            return None
+        self.stats.rescores += 1
+        subset = incumbent.subset
+        if self.measure == "average_degree":
+            if self._mirror is not None:
+                total = self._mirror.subset_degree(sorted(subset, key=repr))
+            else:
+                total = self._diff.total_degree(subset)
+            return SolveOutcome(subset=subset, score=total / len(subset))
+        x = incumbent.x or {}
+        score = 0.0
+        for u in subset:
+            xu = x.get(u, 0.0)
+            if xu == 0.0:
+                continue
+            for v, weight in self._diff.neighbors(u).items():
+                xv = x.get(v, 0.0)
+                if xv != 0.0:
+                    score += weight * xu * xv
+        return SolveOutcome(subset=subset, score=score, x=incumbent.x)
+
+
+# ----------------------------------------------------------------------
+# the naive reference: full snapshot recompute, every step
+# ----------------------------------------------------------------------
+def snapshot_recompute(
+    events: Iterable[EdgeEvent],
+    universe: Iterable[Vertex],
+    n_steps: Optional[int] = None,
+    window: int = 5,
+    measure: Measure = "average_degree",
+    warmup: Optional[int] = None,
+    backend: str = "python",
+    min_score: float = 0.0,
+    tol_scale: float = 1e-2,
+    prune_eps: float = PRUNE_EPS,
+    seed: int = 0,
+) -> AlertLog:
+    """Per-step snapshot recompute — the ContrastMonitor loop over events.
+
+    Every step materialises the full snapshot, rebuilds the window mean
+    with :func:`~repro.core.monitor.mean_graph`, rebuilds the difference
+    graph with :func:`~repro.core.difference.difference_graph`, and runs
+    the full solver.  ``O(window * m)`` per step regardless of how few
+    edges changed — the baseline the incremental engine is gated
+    against (same :func:`solve_difference`, so alert parity is a
+    property of the *maintenance*, which is the claim under test).
+    """
+    members = set(universe)
+    if not members:
+        raise ValueError("universe must not be empty")
+    if warmup is None:
+        warmup = window
+    warmup = max(1, warmup)
+
+    state = Graph()
+    state.add_vertices(members)
+    history: Deque[Graph] = deque(maxlen=window)
+    log = AlertLog()
+
+    grouped: Dict[int, List[EdgeEvent]] = {}
+    last = -1
+    for event in events:
+        if event.u not in members:
+            raise VertexNotFound(event.u)
+        if event.v not in members:
+            raise VertexNotFound(event.v)
+        grouped.setdefault(event.t, []).append(event)
+        last = max(last, event.t)
+    total_steps = n_steps if n_steps is not None else last + 1
+
+    for step in range(total_steps):
+        for event in grouped.get(step, ()):
+            state.add_edge(event.u, event.v, event.w)
+        if history and step >= warmup:
+            expected = mean_graph(history, backend=backend)
+            diff = difference_graph(expected, state)
+            diff = diff.map_weights(
+                lambda w: 0.0 if abs(w) <= prune_eps else w
+            )
+            outcome = solve_difference(
+                diff, measure, backend=backend, tol_scale=tol_scale, seed=seed
+            )
+            if not outcome.empty and outcome.score > min_score:
+                log.append(
+                    StreamAlert(
+                        step=step,
+                        subset=outcome.subset,
+                        score=outcome.score,
+                        measure=measure,
+                        source=SOURCE_SOLVE,
+                    )
+                )
+        history.append(state.copy())
+    return log

@@ -9,6 +9,11 @@ from repro.core.monitor import ContrastAlert, ContrastMonitor, mean_graph
 from repro.datasets.temporal import snapshot_stream
 from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph
+from repro.graph.sparse import scipy_available
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="sparse backend requires SciPy"
+)
 
 
 class TestMeanGraph:
@@ -26,6 +31,38 @@ class TestMeanGraph:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             mean_graph([])
+
+    def test_unknown_backend_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            mean_graph([triangle], backend="vibes")
+
+    @needs_scipy
+    def test_sparse_backend_matches_python(self):
+        graphs = [
+            Graph.from_edges([("a", "b", 1.0), ("b", "c", 0.5)], vertices="d"),
+            Graph.from_edges([("b", "a", 3.0), ("c", "d", 2.0)]),
+            Graph.from_edges([("a", "c", -1.0)], vertices="bd"),
+        ]
+        python = mean_graph(graphs)
+        sparse = mean_graph(graphs, backend="sparse")
+        assert python.vertex_set() == sparse.vertex_set()
+        seen = {(u, v) for u, v, _ in python.edges()}
+        seen |= {(u, v) for u, v, _ in sparse.edges()}
+        for u, v in seen:
+            assert sparse.weight(u, v) == pytest.approx(python.weight(u, v))
+
+    @needs_scipy
+    def test_sparse_backend_merges_edge_directions(self):
+        # The same undirected edge can be iterated as (a, b) in one
+        # snapshot and (b, a) in another; the COO accumulation must
+        # still land both on one entry.
+        g1 = Graph.from_edges([("a", "b", 2.0)])
+        g2 = Graph()
+        g2.add_vertex("b")
+        g2.add_edge("b", "a", 4.0)
+        assert mean_graph([g1, g2], backend="sparse").weight(
+            "a", "b"
+        ) == pytest.approx(3.0)
 
 
 class TestMonitorValidation:
@@ -108,6 +145,102 @@ class TestMonitorDetection:
         )
         assert alert.exceeds(1.0)
         assert not alert.exceeds(2.0)
+
+
+class TestMonitorEdgeCases:
+    def test_empty_history_never_contrasted(self, triangle):
+        """Step 0 has no expectation; even warmup=0 clamps to 1."""
+        monitor = ContrastMonitor(window=3, warmup=0)
+        assert monitor.warmup == 1
+        assert monitor.observe(triangle) is None
+
+    def test_window_one_contrasts_against_previous_snapshot(self):
+        monitor = ContrastMonitor(window=1, warmup=1)
+        g1 = Graph.from_edges([("a", "b", 1.0)], vertices="c")
+        g2 = Graph.from_edges([("a", "b", 5.0), ("b", "c", 2.0)])
+        assert monitor.observe(g1) is None
+        alert = monitor.observe(g2)
+        # Expectation is exactly g1: contrast = GD of (g1, g2).
+        assert alert is not None
+        assert alert.score == pytest.approx(
+            (2 * 4.0 + 2 * 2.0) / 3
+        )  # triangle {a,b,c} in the difference graph
+
+    def test_vertex_churn_rejected_then_recoverable(self, triangle):
+        """A churned snapshot is rejected without corrupting the stream."""
+        monitor = ContrastMonitor(window=2, warmup=1)
+        monitor.observe(triangle)
+        grown = triangle.copy()
+        grown.add_vertex("newcomer")
+        with pytest.raises(InputMismatchError):
+            monitor.observe(grown)
+        shrunk = Graph.from_edges([("a", "b", 1.0)])
+        with pytest.raises(InputMismatchError):
+            monitor.observe(shrunk)
+        # The failed observations consumed no steps and kept no state.
+        assert monitor.step == 1
+        alert = monitor.observe(triangle)
+        assert alert is not None and alert.score == pytest.approx(0.0)
+
+    def test_scores_decay_within_planted_burst(self):
+        """Alert scores are strictly decreasing across a burst.
+
+        As the sliding window absorbs burst snapshots the expectation
+        catches up, so the contrast is maximal at burst onset and decays
+        monotonically while the burst persists — the property operators
+        rely on when thresholding "new" vs "ongoing" anomalies.
+        """
+        stream = snapshot_stream(
+            n_vertices=70,
+            n_steps=12,
+            anomaly_size=5,
+            anomaly_start=6,
+            anomaly_duration=4,
+            seed=11,
+        )
+        monitor = ContrastMonitor(window=5, measure="average_degree")
+        by_step = {a.step: a for a in monitor.run(stream.snapshots)}
+        burst_scores = [
+            by_step[step].score for step in range(6, 10)
+        ]
+        assert all(
+            earlier > later
+            for earlier, later in zip(burst_scores, burst_scores[1:])
+        )
+        quiet = [
+            a.score
+            for a in by_step.values()
+            if not stream.is_anomalous_step(a.step)
+        ]
+        assert min(burst_scores) > 2 * max(quiet)
+
+
+class TestMonitorBackends:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ContrastMonitor(backend="vibes")
+
+    @needs_scipy
+    @pytest.mark.parametrize("measure", ["average_degree", "affinity"])
+    def test_sparse_backend_agrees_with_python(self, measure):
+        stream = snapshot_stream(
+            n_vertices=50,
+            n_steps=8,
+            anomaly_size=4,
+            anomaly_start=5,
+            anomaly_duration=2,
+            seed=2,
+        )
+        python = ContrastMonitor(window=3, measure=measure).run(stream.snapshots)
+        sparse = ContrastMonitor(
+            window=3, measure=measure, backend="sparse"
+        ).run(stream.snapshots)
+        assert len(python) == len(sparse)
+        for a, b in zip(python, sparse):
+            assert a.step == b.step
+            assert a.score == pytest.approx(b.score)
+            if a.score > 1e-6:
+                assert a.subset == b.subset
 
 
 class TestExactPositiveDCSAD:

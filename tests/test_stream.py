@@ -1,0 +1,551 @@
+"""Tests for the incremental streaming DCS engine (`repro/stream/`).
+
+The contract under test is *parity*: the engine's incrementally
+maintained window sums, difference graphs, and solver answers must
+match a naive full recompute — on both compute backends — while doing
+asymptotically less work per step.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.difference import difference_graph
+from repro.core.monitor import ContrastMonitor, mean_graph
+from repro.datasets.streaming import burst_event_stream
+from repro.exceptions import InputMismatchError, VertexNotFound
+from repro.graph.graph import Graph
+from repro.graph.sparse import scipy_available
+from repro.stream import (
+    AlertLog,
+    EdgeEvent,
+    EventLog,
+    SlidingWindowAccumulator,
+    StreamAlert,
+    StreamingDCSEngine,
+    alert_keys,
+    edge_key,
+    events_between,
+    group_by_step,
+    read_events,
+    snapshot_recompute,
+    solve_difference,
+    write_events,
+)
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="sparse backend requires SciPy"
+)
+
+BACKENDS = ["python"] + (["sparse"] if scipy_available() else [])
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+class TestEdgeEvent:
+    def test_self_loop_rejected(self):
+        with pytest.raises(InputMismatchError):
+            EdgeEvent(t=0, u="a", v="a", w=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InputMismatchError):
+            EdgeEvent(t=-1, u="a", v="b", w=1.0)
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(InputMismatchError):
+            EdgeEvent(t=0, u="a", v="b", w=float("nan"))
+
+    def test_key_is_canonical(self):
+        assert EdgeEvent(t=0, u="b", v="a", w=1.0).key == ("a", "b")
+        assert edge_key("b", "a") == edge_key("a", "b")
+
+    def test_group_by_step(self):
+        events = [
+            EdgeEvent(t=0, u="a", v="b", w=1.0),
+            EdgeEvent(t=0, u="b", v="c", w=2.0),
+            EdgeEvent(t=3, u="a", v="b", w=3.0),
+        ]
+        groups = list(group_by_step(events))
+        assert [t for t, _ in groups] == [0, 3]
+        assert len(groups[0][1]) == 2
+
+    def test_group_rejects_time_travel(self):
+        events = [
+            EdgeEvent(t=2, u="a", v="b", w=1.0),
+            EdgeEvent(t=1, u="a", v="b", w=2.0),
+        ]
+        with pytest.raises(InputMismatchError):
+            list(group_by_step(events))
+
+    def test_events_between_diffs_snapshots(self):
+        g1 = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+        g2 = Graph.from_edges([("a", "b", 3.0)], vertices=["c"])
+        batch = events_between(g1, g2, t=7)
+        replayed = g1.copy()
+        for event in batch:
+            replayed.add_edge(event.u, event.v, event.w)
+        assert replayed == g2
+        assert all(event.t == 7 for event in batch)
+
+    def test_file_round_trip(self, tmp_path):
+        log = EventLog(
+            events=[
+                EdgeEvent(t=0, u="a", v="b", w=1.5),
+                EdgeEvent(t=2, u="b", v="c", w=-0.25),
+            ],
+            declared={"lonely"},
+        )
+        path = tmp_path / "events.txt"
+        write_events(log, path)
+        loaded = read_events(path)
+        assert loaded.events == log.events
+        assert loaded.universe == {"a", "b", "c", "lonely"}
+        assert loaded.last_step == 2
+
+    def test_read_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 a b\n")
+        with pytest.raises(InputMismatchError):
+            read_events(path)
+
+    def test_read_rejects_decreasing_time(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("2 a b 1.0\n1 a b 2.0\n")
+        with pytest.raises(InputMismatchError):
+            read_events(path)
+
+
+# ----------------------------------------------------------------------
+# sliding-window accumulator
+# ----------------------------------------------------------------------
+class TestAccumulator:
+    def test_stable_edge_has_exact_zero_difference(self):
+        acc = SlidingWindowAccumulator(window=3)
+        assert acc.observe(("a", "b"), 0.1)
+        deltas = acc.close_step()  # t=0: warming
+        assert deltas == {("a", "b"): 0.0}
+        # 0.1 is the classic float that breaks (w+w+w)/3 == w; the
+        # segment path must never compute it.
+        for _ in range(5):
+            deltas = acc.close_step()
+            assert deltas.get(("a", "b"), 0.0) == 0.0
+        assert acc.active_edges == 0
+        assert acc.state_weight(("a", "b")) == 0.1
+
+    def test_difference_tracks_window_mean(self):
+        acc = SlidingWindowAccumulator(window=2)
+        acc.observe(("a", "b"), 1.0)
+        acc.close_step()  # step 0: weight 1
+        acc.observe(("a", "b"), 3.0)
+        acc.close_step()  # step 1: window = [1], diff = 3 - 1
+        acc.observe(("a", "b"), 3.0)  # no-op re-observation
+        deltas = acc.close_step()  # step 2: window = [1, 3], diff = 3 - 2
+        assert deltas[("a", "b")] == pytest.approx(1.0)
+        deltas = acc.close_step()  # step 3: window = [3, 3] -> stable
+        assert deltas[("a", "b")] == 0.0
+        assert acc.active_edges == 0
+
+    def test_deletion_event(self):
+        acc = SlidingWindowAccumulator(window=2)
+        acc.observe(("a", "b"), 2.0)
+        acc.close_step()
+        acc.observe(("a", "b"), 0.0)
+        acc.close_step()  # state 0, window mean 2 -> diff -2
+        assert acc.state_weight(("a", "b")) == 0.0
+        assert acc.expectation_weight(("a", "b")) == pytest.approx(2.0)
+
+    def test_same_step_override_collapses(self):
+        acc = SlidingWindowAccumulator(window=2)
+        acc.observe(("a", "b"), 2.0)
+        acc.close_step()
+        changed = acc.observe(("a", "b"), 9.0)
+        assert changed
+        acc.observe(("a", "b"), 2.0)  # overridden back within the step
+        deltas = acc.close_step()
+        assert deltas.get(("a", "b"), 0.0) == 0.0
+        assert acc.active_edges == 0
+
+    def test_window_sums_match_naive(self):
+        stream = burst_event_stream(
+            n_vertices=40, n_steps=12, anomaly_start=6, anomaly_duration=2, seed=1
+        )
+        snapshots = stream.snapshots()
+        acc = SlidingWindowAccumulator(window=3)
+        grouped = {t: batch for t, batch in group_by_step(stream.log.events)}
+        for step in range(stream.n_steps):
+            for event in grouped.get(step, ()):
+                acc.observe(event.key, event.w)
+            acc.close_step()
+            window = snapshots[max(0, step - 3) : step]
+            if not window:
+                continue
+            # Every pair seen anywhere must agree with the naive sum.
+            naive = mean_graph(window)
+            for u, v, weight in naive.edges():
+                key = edge_key(u, v)
+                assert acc.window_sum(key) / len(window) == pytest.approx(
+                    weight
+                ), f"step {step} edge {key}"
+                assert acc.expectation_weight(key) == pytest.approx(weight)
+
+
+# ----------------------------------------------------------------------
+# engine parity against naive recompute and the batch monitor
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload():
+    return burst_event_stream(
+        n_vertices=60,
+        n_steps=18,
+        anomaly_size=5,
+        anomaly_start=9,
+        anomaly_duration=3,
+        seed=7,
+    )
+
+
+class TestEngineParity:
+    def _run(self, workload, backend, **kwargs):
+        engine = StreamingDCSEngine(
+            workload.universe, window=4, min_score=1e-6, backend=backend, **kwargs
+        )
+        alerts = engine.run(workload.log.events, n_steps=workload.n_steps)
+        return engine, alerts
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_difference_matches_naive_rebuild(self, workload, backend):
+        engine = StreamingDCSEngine(
+            workload.universe, window=4, backend=backend, min_score=1e-6
+        )
+        snapshots = workload.snapshots()
+        grouped = {t: b for t, b in group_by_step(workload.log.events)}
+        for step in range(workload.n_steps):
+            for event in grouped.get(step, ()):
+                engine.ingest(event)
+            engine.advance_to(step + 1)
+            window = snapshots[max(0, step - 4) : step]
+            if not window:
+                continue
+            naive = difference_graph(mean_graph(window), snapshots[step])
+            maintained = engine.difference
+            keys = {edge_key(u, v) for u, v, _ in naive.edges()}
+            keys |= {edge_key(u, v) for u, v, _ in maintained.edges()}
+            for u, v in keys:
+                assert maintained.weight(u, v) == pytest.approx(
+                    naive.weight(u, v), abs=1e-9
+                ), f"step {step} edge ({u}, {v})"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("measure", ["average_degree", "affinity"])
+    def test_exact_policy_matches_naive_recompute(self, workload, backend, measure):
+        _, alerts = self._run(workload, backend, measure=measure)
+        naive = snapshot_recompute(
+            workload.log.events,
+            workload.universe,
+            n_steps=workload.n_steps,
+            window=4,
+            measure=measure,
+            backend=backend,
+            min_score=1e-6,
+        )
+        assert alert_keys(alerts) == alert_keys(naive)
+        by_step = {a.step: a for a in naive}
+        for alert in alerts:
+            assert alert.score == pytest.approx(by_step[alert.step].score)
+
+    @needs_scipy
+    def test_backends_agree(self, workload):
+        _, py = self._run(workload, "python")
+        _, sp = self._run(workload, "sparse")
+        assert alert_keys(py) == alert_keys(sp)
+        for a, b in zip(py, sp):
+            assert a.score == pytest.approx(b.score)
+
+    def test_matches_contrast_monitor(self, workload):
+        """The engine is the event-native ContrastMonitor."""
+        monitor = ContrastMonitor(window=4, measure="average_degree")
+        monitor_alerts = monitor.run(workload.snapshots())
+        _, engine_alerts = self._run(workload, "python")
+        by_step = {a.step: a for a in engine_alerts}
+        for alert in monitor_alerts:
+            if alert.score < 1e-6:
+                continue  # engine suppresses empty/zero answers
+            mine = by_step[alert.step]
+            assert mine.score == pytest.approx(alert.score)
+            assert mine.subset == frozenset(alert.subset)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_gated_policy_parity_on_burst(self, workload, backend):
+        """Gating may re-rank sub-threshold noise, never the burst."""
+        _, gated = self._run(workload, backend, policy="gated")
+        naive = snapshot_recompute(
+            workload.log.events,
+            workload.universe,
+            n_steps=workload.n_steps,
+            window=4,
+            backend=backend,
+            min_score=1e-6,
+        )
+        threshold = 2.0
+        assert alert_keys(gated.fired(threshold)) == alert_keys(
+            naive.fired(threshold)
+        )
+
+    def test_burst_is_detected(self, workload):
+        _, alerts = self._run(workload, "python")
+        hot = [a for a in alerts if workload.is_anomalous_step(a.step)]
+        quiet = [a for a in alerts if not workload.is_anomalous_step(a.step)]
+        assert hot and min(a.score for a in hot) > 2 * max(
+            a.score for a in quiet
+        )
+        flagged = set().union(*(a.subset for a in hot))
+        assert flagged >= workload.anomaly_members
+
+    def test_incremental_machinery_engaged(self, workload):
+        engine, _ = self._run(workload, "python", policy="gated")
+        stats = engine.stats
+        assert stats.diff_edits > 0
+        assert stats.rescores > 0
+        # The engine must not full-solve every warmed step.
+        warmed = workload.n_steps - engine.warmup
+        assert stats.full_solves < warmed
+
+
+class TestEngineBehaviour:
+    def test_unknown_vertex_rejected(self):
+        engine = StreamingDCSEngine(["a", "b"], window=2)
+        with pytest.raises(VertexNotFound):
+            engine.ingest(EdgeEvent(t=0, u="a", v="zzz", w=1.0))
+
+    def test_stale_timestamp_rejected(self):
+        engine = StreamingDCSEngine(["a", "b", "c"], window=2)
+        engine.ingest(EdgeEvent(t=3, u="a", v="b", w=1.0))
+        with pytest.raises(InputMismatchError):
+            engine.ingest(EdgeEvent(t=1, u="b", v="c", w=1.0))
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingDCSEngine([], window=2)
+
+    def test_no_alerts_before_warmup(self):
+        engine = StreamingDCSEngine(["a", "b", "c"], window=3, min_score=-1.0)
+        alerts = engine.run(
+            [
+                EdgeEvent(t=0, u="a", v="b", w=1.0),
+                EdgeEvent(t=1, u="a", v="b", w=5.0),
+                EdgeEvent(t=2, u="b", v="c", w=2.0),
+            ],
+            n_steps=3,
+        )
+        assert all(a.step >= 3 for a in alerts)
+
+    def test_quiet_stream_caches(self):
+        """Once every edge is stable, answers come from the cache."""
+        events = [EdgeEvent(t=0, u="a", v="b", w=1.0)]
+        engine = StreamingDCSEngine(
+            ["a", "b", "c"], window=2, warmup=1, min_score=0.0
+        )
+        engine.run(events, n_steps=12)
+        stats = engine.stats
+        assert stats.cache_hits > 0
+        assert stats.full_solves <= 2
+
+    def test_time_gap_closes_intermediate_steps(self):
+        engine = StreamingDCSEngine(["a", "b"], window=2, warmup=1)
+        engine.ingest(EdgeEvent(t=0, u="a", v="b", w=1.0))
+        alerts = engine.ingest(EdgeEvent(t=6, u="a", v="b", w=9.0))
+        assert engine.step == 6
+        assert all(a.step < 6 for a in alerts)
+
+    def test_run_without_n_steps_stops_after_last_event(self):
+        engine = StreamingDCSEngine(["a", "b"], window=2, warmup=1)
+        engine.run([EdgeEvent(t=4, u="a", v="b", w=1.0)])
+        assert engine.step == 5
+
+    def test_run_truncates_events_beyond_n_steps(self):
+        """Events past the requested horizon must not leak steps/alerts."""
+        engine = StreamingDCSEngine(["a", "b", "c"], window=2, warmup=1)
+        alerts = engine.run(
+            [
+                EdgeEvent(t=0, u="a", v="b", w=1.0),
+                EdgeEvent(t=2, u="a", v="b", w=9.0),
+                EdgeEvent(t=8, u="b", v="c", w=9.0),  # beyond the horizon
+            ],
+            n_steps=3,
+        )
+        assert engine.step == 3
+        assert all(a.step < 3 for a in alerts)
+        assert engine.state_graph().weight("b", "c") == 0.0
+
+    def test_alert_json_round_trips(self):
+        alert = StreamAlert(
+            step=3,
+            subset=frozenset({"b", "a"}),
+            score=1.25,
+            measure="average_degree",
+        )
+        payload = json.loads(alert.to_json())
+        assert payload["step"] == 3
+        assert payload["subset"] == ["a", "b"]
+        assert payload["size"] == 2
+        assert payload["source"] == "solve"
+
+    def test_alert_log_helpers(self):
+        low = StreamAlert(step=1, subset=frozenset("a"), score=0.5, measure="m")
+        high = StreamAlert(step=2, subset=frozenset("b"), score=5.0, measure="m")
+        log = AlertLog([low, high])
+        assert log.steps == [1, 2]
+        assert log.fired(1.0).steps == [2]
+        assert len(log.json_lines().splitlines()) == 2
+
+
+class TestSolveDifference:
+    def test_empty_difference(self):
+        gd = Graph()
+        gd.add_vertices("abc")
+        outcome = solve_difference(gd, "average_degree")
+        assert outcome.empty and outcome.score == 0.0
+
+    def test_no_positive_edge(self):
+        gd = Graph.from_edges([("a", "b", -2.0)], vertices=["c"])
+        assert solve_difference(gd, "average_degree").empty
+        assert solve_difference(gd, "affinity").empty
+
+    @pytest.mark.parametrize("measure", ["average_degree", "affinity"])
+    def test_isolated_vertices_do_not_matter(self, signed_graph, measure):
+        padded = signed_graph.copy()
+        for i in range(20):
+            padded.add_vertex(f"pad{i}")
+        bare = solve_difference(signed_graph, measure)
+        assert solve_difference(padded, measure) == bare
+        assert bare.subset == {"a", "b", "c"}
+
+    def test_unknown_measure(self, signed_graph):
+        with pytest.raises(ValueError):
+            solve_difference(signed_graph, "vibes")
+
+
+# ----------------------------------------------------------------------
+# mutable CSR adjacency (patch-and-rebuild)
+# ----------------------------------------------------------------------
+@needs_scipy
+class TestMutableCSR:
+    def _assert_matches_fresh(self, mutable):
+        import numpy as np
+
+        from repro.graph.sparse import CSRAdjacency
+
+        fresh = CSRAdjacency.from_graph(mutable.graph, order=mutable.order)
+        current = mutable.adjacency
+        assert current.n == fresh.n
+        assert current.num_edges == fresh.num_edges
+        assert np.array_equal(
+            current.matrix.toarray(), fresh.matrix.toarray()
+        )
+
+    def test_value_updates_patch_in_place(self, signed_graph):
+        from repro.graph.sparse import MutableCSRAdjacency
+
+        mutable = MutableCSRAdjacency(signed_graph.copy())
+        before = mutable.adjacency
+        mutable.set_edge("a", "b", 7.0)
+        mutable.set_edge("c", "d", -1.0)
+        assert mutable.patches == 2
+        assert not mutable.is_stale
+        assert mutable.adjacency is before  # no rebuild happened
+        self._assert_matches_fresh(mutable)
+
+    def test_structural_updates_rebuild_lazily(self, signed_graph):
+        from repro.graph.sparse import MutableCSRAdjacency
+
+        mutable = MutableCSRAdjacency(signed_graph.copy())
+        mutable.adjacency
+        rebuilds = mutable.rebuilds
+        mutable.set_edge("b", "e", 2.0)  # new edge
+        mutable.set_edge("a", "b", 0.0)  # deletion
+        assert mutable.is_stale
+        assert mutable.rebuilds == rebuilds  # amortised: not yet rebuilt
+        self._assert_matches_fresh(mutable)
+        assert mutable.rebuilds == rebuilds + 1
+        assert mutable.structural_edits == 2
+
+    def test_new_vertex_extends_order(self, triangle):
+        from repro.graph.sparse import MutableCSRAdjacency
+
+        mutable = MutableCSRAdjacency(triangle.copy())
+        mutable.adjacency
+        mutable.set_edge("a", "zz", 1.0)
+        adj = mutable.adjacency
+        assert "zz" in adj.index
+        self._assert_matches_fresh(mutable)
+
+    def test_noop_update_costs_nothing(self, triangle):
+        from repro.graph.sparse import MutableCSRAdjacency
+
+        mutable = MutableCSRAdjacency(triangle.copy())
+        mutable.adjacency
+        mutable.set_edge("a", "b", 1.0)  # already this weight
+        assert mutable.patches == 0 and not mutable.is_stale
+
+    def test_subset_degree_matches_graph(self, signed_graph):
+        from repro.graph.sparse import MutableCSRAdjacency
+
+        mutable = MutableCSRAdjacency(signed_graph.copy())
+        subset = ["a", "b", "c"]
+        assert mutable.subset_degree(subset) == pytest.approx(
+            signed_graph.total_degree(subset)
+        )
+        mutable.set_edge("a", "b", 10.0)
+        assert mutable.subset_degree(subset) == pytest.approx(
+            mutable.graph.total_degree(subset)
+        )
+
+    def test_update_existing_rejects_structural(self, triangle):
+        from repro.graph.sparse import CSRAdjacency
+
+        adj = CSRAdjacency.from_graph(triangle)
+        assert not adj.update_existing("a", "b", 0.0)  # zero is structural
+        assert not adj.update_existing("a", "zz", 1.0)  # unknown vertex
+        assert adj.update_existing("a", "b", 4.0)
+        assert adj.matrix[adj.index["a"], adj.index["b"]] == 4.0
+        assert adj.matrix[adj.index["b"], adj.index["a"]] == 4.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestStreamCLI:
+    def test_stream_command_emits_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = burst_event_stream(
+            n_vertices=40,
+            n_steps=14,
+            anomaly_start=8,
+            anomaly_duration=2,
+            seed=5,
+        )
+        path = tmp_path / "events.txt"
+        write_events(stream.log, path)
+        code = main(
+            ["stream", str(path), "--window", "4", "--threshold", "2.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert records, "burst should alert"
+        assert {r["step"] for r in records} == {8, 9}
+        for record in records:
+            assert record["score"] > 2.0
+            assert set(record["subset"]) >= stream.anomaly_members
+
+    def test_stream_rejects_empty_file(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(SystemExit):
+            main(["stream", str(path)])
