@@ -5,23 +5,42 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench-stream bench docs-check check
+.PHONY: test coverage bench-smoke bench-stream bench-batch bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Scalability + streaming gates: sparse-vs-python backend speedup
-## (>= 5x at the largest planted size) and incremental-engine speedup
-## over snapshot recompute (>= 3x at the largest event count), both
-## with answer-parity checks.
+## Minimum line coverage enforced in CI (pytest-cov; see `make coverage`).
+COV_MIN ?= 88
+
+## Test suite under pytest-cov with the coverage floor CI enforces.
+## Requires pytest-cov (`pip install pytest-cov`); plain `make test`
+## stays dependency-light.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed: pip install pytest-cov"; exit 1; }
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
+		--cov-fail-under=$(COV_MIN)
+
+## Scalability + streaming + batch gates: sparse-vs-python backend
+## speedup (>= 5x at the largest planted size), incremental-engine
+## speedup over snapshot recompute (>= 3x at the largest event count),
+## and batch-service speedup over the per-query serial loop (>= 2x on
+## a 16-query sweep) — all with answer-parity checks.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py -q
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py -q
 
 ## Streaming benchmark only — incremental engine vs naive recompute,
 ## alert parity and the >= 3x speedup gate.
 bench-stream:
 	$(PYTHON) -m pytest benchmarks/bench_streaming.py -q
+
+## Batch-service benchmark only — shared-prep executor vs per-query
+## serial loop: >= 2x speedup, byte-identical results, cache-hit
+## resubmission; writes benchmarks/output/batch_results.jsonl.
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/bench_batch.py -q
 
 ## Every table/figure reproduction benchmark (slow; writes rendered
 ## artefacts to benchmarks/output/).

@@ -1,0 +1,196 @@
+"""Batch service gates: speedup, byte-identical parity, cache hits.
+
+The workload is a 16-query mixed DCSAD/DCSGA sweep over four Table II
+registry rows (the Douban Movie/Book contrast graphs) — the shape of
+the paper's multi-dataset studies, issued the way a query service
+receives them: every query names its dataset and parameters
+independently.
+
+Three gates:
+
+* **>= 2x wall-clock speedup** of ``BatchExecutor(workers=4)`` over the
+  serial loop that resolves and solves each query end-to-end — the win
+  comes from the plan's shared-prep dedup (each difference graph built
+  once instead of four times) plus, where more than one CPU exists, the
+  worker fan-out.
+* **Byte-identical per-query results**: the batch payloads must equal
+  the serial loop's payloads as canonical JSON, byte for byte.
+* **A demonstrated cache hit on resubmission**: resubmitting the same
+  16 queries answers every one from the content-addressed cache,
+  byte-identical again and with zero solves.
+
+The per-query records are written to ``benchmarks/output/
+batch_results.jsonl`` — the artefact CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks._harness import OUTPUT_DIR, SCALE, emit
+from repro.analysis.reporting import Table
+from repro.batch import BatchExecutor, BatchQuery, GraphSource
+from repro.batch.executor import execute_payload
+from repro.datasets.registry import build_named
+
+#: The four shared difference graphs of the sweep.
+DATASETS = (
+    "Book/-/Interest-Social",
+    "Book/-/Social-Interest",
+    "Movie/-/Interest-Social",
+    "Movie/-/Social-Interest",
+)
+
+#: Per-dataset query mix: both measures, both backends.
+MIX = (
+    ("ad-py", "dcsad", "python"),
+    ("ad-sp", "dcsad", "sparse"),
+    ("ga-sp", "dcsga", "sparse"),
+    ("ga-py", "dcsga", "python"),
+)
+
+
+def _queries():
+    queries = []
+    for dataset in DATASETS:
+        source = GraphSource.from_registry(dataset, SCALE)
+        for tag, kind, backend in MIX:
+            queries.append(
+                BatchQuery(
+                    kind=kind,
+                    source=source,
+                    backend=backend,
+                    qid=f"{dataset}|{tag}",
+                )
+            )
+    return queries
+
+
+def _serial_loop(queries):
+    """The pre-batch-layer baseline: every query end-to-end on its own.
+
+    Exactly what a caller scripting the library (or invoking the CLI
+    per query) pays: resolve the dataset reference, assemble the
+    difference graph, solve — with nothing shared between queries.
+    Payloads come from the same :func:`execute_payload` the executor
+    uses, so parity can be asserted byte-for-byte.
+    """
+    payloads = []
+    for query in queries:
+        gd = build_named(query.source.dataset, scale=query.source.scale).graph
+        payloads.append(execute_payload(query.kind, query.solve_params(), gd))
+    return payloads
+
+
+def _canonical(payloads):
+    return [json.dumps(payload, sort_keys=True) for payload in payloads]
+
+
+def _run_comparison():
+    queries = _queries()
+    assert len(queries) == 16
+
+    start = time.perf_counter()
+    serial_payloads = _serial_loop(queries)
+    serial_seconds = time.perf_counter() - start
+
+    executor = BatchExecutor(workers=4)
+    start = time.perf_counter()
+    results = executor.run(queries)
+    batch_seconds = time.perf_counter() - start
+    first_stats = executor.stats
+
+    start = time.perf_counter()
+    resubmitted = executor.run(queries)
+    resubmit_seconds = time.perf_counter() - start
+
+    return {
+        "queries": queries,
+        "serial_seconds": serial_seconds,
+        "batch_seconds": batch_seconds,
+        "resubmit_seconds": resubmit_seconds,
+        "serial_payloads": serial_payloads,
+        "results": results,
+        "resubmitted": resubmitted,
+        "first_stats": first_stats,
+        "resubmit_stats": executor.stats,
+    }
+
+
+def test_batch_speedup_parity_and_cache(benchmark):
+    data = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+    results = data["results"]
+    speedup = data["serial_seconds"] / data["batch_seconds"]
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    artefact = OUTPUT_DIR / "batch_results.jsonl"
+    artefact.write_text(
+        "\n".join(result.to_json() for result in results) + "\n",
+        encoding="utf-8",
+    )
+
+    table = Table(
+        title=(
+            "Batch service: 16-query mixed DCSAD/DCSGA sweep "
+            f"(4 datasets x 4 queries, scale {SCALE})"
+        ),
+        columns=["Path", "Wall (s)", "Preps", "Solves", "Cache hits"],
+    )
+    first = data["first_stats"]
+    second = data["resubmit_stats"]
+    table.add_row(
+        ["serial loop", f"{data['serial_seconds']:.3f}", "16", "16", "0"]
+    )
+    table.add_row(
+        [
+            f"batch workers=4 ({first.mode})",
+            f"{data['batch_seconds']:.3f}",
+            str(first.preps_built),
+            str(first.solved),
+            str(first.cache_hits),
+        ]
+    )
+    table.add_row(
+        [
+            "resubmission",
+            f"{data['resubmit_seconds']:.3f}",
+            str(second.preps_built),
+            str(second.solved),
+            str(second.cache_hits),
+        ]
+    )
+    emit(
+        "batch_speedup",
+        table.render()
+        + f"\nspeedup over serial loop: {speedup:.2f}x"
+        + f"\n[per-query records in benchmarks/output/{artefact.name}]",
+    )
+
+    # Gate 1: every query answered, in input order.
+    assert [r.qid for r in results] == [q.qid for q in data["queries"]]
+    assert all(r.status == "ok" for r in results)
+
+    # Gate 2: byte-identical per-query results vs the serial loop.
+    assert _canonical([r.payload for r in results]) == _canonical(
+        data["serial_payloads"]
+    )
+
+    # Gate 3: >= 2x wall-clock over the serial loop (shared-prep dedup
+    # alone achieves this on one CPU; worker fan-out adds on top).
+    assert speedup >= 2.0, (
+        f"batch path must be >= 2x over the serial loop, got {speedup:.2f}x "
+        f"(serial {data['serial_seconds']:.3f}s, "
+        f"batch {data['batch_seconds']:.3f}s)"
+    )
+
+    # Gate 4: resubmission is served from the cache — all 16 hits, zero
+    # solves, byte-identical payloads, and measurably cheaper than the
+    # first batch run (only the prep/fingerprint pass remains).
+    resubmitted = data["resubmitted"]
+    assert all(r.cached for r in resubmitted)
+    assert second.cache_hits == 16 and second.solved == 0
+    assert _canonical([r.payload for r in resubmitted]) == _canonical(
+        data["serial_payloads"]
+    )
+    assert data["resubmit_seconds"] < data["batch_seconds"]

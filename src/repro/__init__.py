@@ -26,7 +26,10 @@ Lower-level building blocks live in the subpackages: :mod:`repro.graph`
 :mod:`repro.affinity` (the original-SEA baseline), :mod:`repro.flow`
 (exact densest subgraph), :mod:`repro.baselines` (EgoScan),
 :mod:`repro.datasets` (synthetic data) and :mod:`repro.analysis`
-(metrics and reporting).
+(metrics and reporting).  Two serving layers sit on top:
+:mod:`repro.stream` (incremental DCS over live edge events) and
+:mod:`repro.batch` (many-query submissions with shared preprocessing,
+worker processes and a content-addressed result cache).
 """
 
 from __future__ import annotations

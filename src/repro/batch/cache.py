@@ -1,0 +1,110 @@
+"""Content-addressed result cache for batch queries.
+
+A cached answer is keyed by **what was computed on what**, never by how
+the input was named: the key digests the input's content fingerprint
+(:func:`repro.graph.sparse.graph_fingerprint` for graphs, an event-list
+digest for streams) together with the query's canonical solver
+parameters.  Consequences:
+
+* resubmitting a query is free, whatever path or dataset alias it used;
+* an input file changing on disk changes the fingerprint, so stale
+  answers can never be served;
+* cache entries are plain JSON payloads — exactly the bytes the
+  executor would have produced — so a hit is byte-identical to a solve.
+
+The cache is an in-memory dict, optionally spilled to a directory
+(one ``<key>.json`` per entry) so it survives across processes and CLI
+invocations.  Writes go to a temp file then ``os.replace`` — concurrent
+writers at worst do redundant work, never corrupt an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def cache_key(fingerprint: str, params: Dict[str, Any]) -> str:
+    """The content address of one answer: sha256 over input + params."""
+    material = json.dumps(
+        {"fingerprint": fingerprint, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Memoised query results, content-addressed.
+
+    ``directory=None`` keeps the cache purely in-memory (one executor's
+    lifetime); a directory makes it persistent.  ``hits`` / ``misses`` /
+    ``stores`` expose effectiveness to benchmarks and the CLI summary.
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        #: key -> canonical JSON text.  Entries are stored *serialised*
+        #: so a caller mutating a returned payload (or the dict it was
+        #: stored from) can never poison later hits — every get() hands
+        #: out a fresh structure.
+        self._memory: Dict[str, str] = {}
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        if self.directory is None:
+            return len(self._memory)
+        on_disk = {p.stem for p in self.directory.glob("*.json")}
+        return len(on_disk | set(self._memory))
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for *key*, or None (counts hit/miss)."""
+        text = self._memory.get(key)
+        if text is None and self.directory is not None:
+            path = self.directory / f"{key}.json"
+            if path.exists():
+                try:
+                    text = path.read_text(encoding="utf-8")
+                    json.loads(text)  # reject corrupt entries
+                except (OSError, json.JSONDecodeError):
+                    text = None
+                else:
+                    self._memory[key] = text
+        if text is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return json.loads(text)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store *payload* under *key* (memory, then disk if configured)."""
+        text = json.dumps(payload, sort_keys=True)
+        self._memory[key] = text
+        self.stores += 1
+        if self.directory is None:
+            return
+        path = self.directory / f"{key}.json"
+        tmp = self.directory / f".{key}.tmp.{os.getpid()}"
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk)."""
+        self._memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

@@ -1,0 +1,671 @@
+"""The batch scheduler: shared-prep fan-out with isolation and caching.
+
+Execution of one submission::
+
+    queries ──► BatchPlan ──► preps built once (parent process)
+                                   │
+            cache lookup ◄─────────┤ fingerprints
+                 │ misses          ▼
+                 └─────► worker pool (or serial fallback)
+                          · per-process table fingerprint -> payload,
+                            shipped once at pool start
+                          · GD+ / CSRAdjacency built per fingerprint,
+                            shared across that worker's queries
+                          · per-query timeout + failure isolation
+                                   │
+                                   ▼
+                     BatchResult records (input order) ──► cache fill
+
+Design decisions worth knowing:
+
+* **Workers are processes**, not threads — the solvers are pure-Python
+  hot loops, so threads would serialise on the GIL.  The pool is
+  created per :meth:`BatchExecutor.run` with the deduplicated prep
+  table as init args: each worker unpickles every shared graph exactly
+  once, then serves any number of queries from it (queries themselves
+  travel as tiny parameter records).
+* **Serial fallback**: ``mode="auto"`` uses a pool only when it can
+  actually help (more than one worker requested *and* more than one CPU
+  present) and quietly falls back to in-process execution otherwise —
+  same code path, same results, no pickling.  A pool whose workers die
+  (:class:`~concurrent.futures.process.BrokenProcessPool`) also falls
+  back, re-running the unfinished queries serially.
+* **Failure isolation**: one query raising — bad parameters, a solver
+  error — yields a ``status="error"`` record; every other query still
+  completes.  Timeouts are enforced *where the query runs* via
+  ``SIGALRM`` (each worker process owns its main thread), so a
+  too-slow solve is actually interrupted, the worker stays healthy, and
+  the record comes back ``status="timeout"``.  Failures — errors and
+  timeouts alike — are never cached, because they can be transient;
+  only real answers are memoised, and resubmission retries the rest.
+* **Determinism**: a query's payload is produced by one pure function
+  (:func:`execute_payload`) in every mode, so serial, pooled and cached
+  runs are byte-identical (:meth:`BatchResult.canonical_json`) — the
+  property the benchmark gate asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.batch.cache import ResultCache, cache_key
+from repro.batch.plan import BatchPlan
+from repro.batch.queries import BatchQuery, assign_qids
+from repro.graph.graph import Graph
+from repro.graph.sparse import CSRAdjacency, scipy_available
+from repro.stream.events import EventLog
+
+__all__ = ["BatchExecutor", "BatchResult", "BatchStats", "execute_payload"]
+
+
+# ----------------------------------------------------------------------
+# result records
+# ----------------------------------------------------------------------
+@dataclass
+class BatchResult:
+    """Outcome of one query: an answer, an error, or a timeout."""
+
+    qid: str
+    kind: str
+    status: str  # "ok" | "error" | "timeout"
+    fingerprint: str
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def canonical_json(self) -> str:
+        """The *answer identity*: everything except provenance/timing.
+
+        Two runs of the same query must produce equal canonical JSON
+        whatever mode, worker count or cache state served them.
+        """
+        return json.dumps(
+            {
+                "qid": self.qid,
+                "kind": self.kind,
+                "status": self.status,
+                "fingerprint": self.fingerprint,
+                "payload": self.payload,
+                "error": self.error,
+            },
+            sort_keys=True,
+        )
+
+    def to_json(self) -> str:
+        """Full one-line record (the ``repro batch`` JSONL output)."""
+        return json.dumps(
+            {
+                "qid": self.qid,
+                "kind": self.kind,
+                "status": self.status,
+                "fingerprint": self.fingerprint,
+                "payload": self.payload,
+                "error": self.error,
+                "cached": self.cached,
+                "seconds": self.seconds,
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass
+class BatchStats:
+    """What one :meth:`BatchExecutor.run` actually did."""
+
+    queries: int = 0
+    mode: str = "serial"
+    workers: int = 1
+    preps_built: int = 0
+    preps_shared: int = 0
+    prep_seconds: float = 0.0
+    cache_hits: int = 0
+    solved: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    solve_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"queries={self.queries} mode={self.mode} workers={self.workers} "
+            f"preps={self.preps_built} (+{self.preps_shared} shared) "
+            f"cache_hits={self.cache_hits} solved={self.solved} "
+            f"errors={self.errors} timeouts={self.timeouts} "
+            f"prep={self.prep_seconds:.3f}s solve={self.solve_seconds:.3f}s "
+            f"wall={self.wall_seconds:.3f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# the pure solve: (query params, shared payload) -> JSON payload
+# ----------------------------------------------------------------------
+@dataclass
+class _QuerySpec:
+    """The picklable per-query work order shipped to workers."""
+
+    qid: str
+    kind: str
+    fingerprint: str
+    params: Dict[str, Any]
+
+
+def _subset_json(subset) -> List[str]:
+    return sorted(str(v) for v in subset)
+
+
+def _embedding_json(x: Dict[Any, float]) -> Dict[str, float]:
+    return {str(u): w for u, w in sorted(x.items(), key=lambda kv: str(kv[0]))}
+
+
+def execute_payload(
+    kind: str,
+    params: Dict[str, Any],
+    payload: Union[Graph, EventLog],
+    adjacency: Optional[CSRAdjacency] = None,
+    gd_plus: Optional[Graph] = None,
+) -> Dict[str, Any]:
+    """Run one query on its prepared input; return the JSON-ready answer.
+
+    This is the *only* place query semantics live — the serial path, the
+    worker processes and the benchmarks all call it, which is what makes
+    their results byte-identical.  *adjacency*/*gd_plus* optionally
+    supply the shared positive part (and its CSR) for ``dcsga`` queries.
+    """
+    if kind == "dcsad":
+        from repro.core.dcsad import dcs_greedy
+        from repro.core.topk import top_k_dcsad
+
+        assert isinstance(payload, Graph)
+        if params["k"] <= 1:
+            result = dcs_greedy(payload, backend=params["backend"])
+            return {
+                "kind": "dcsad",
+                "subset": _subset_json(result.subset),
+                "density": result.density,
+                "ratio_bound": result.ratio_bound,
+                "winner": result.winner,
+            }
+        ranked = top_k_dcsad(
+            payload,
+            params["k"],
+            strategy=params["strategy"],
+            backend=params["backend"],
+        )
+        return {
+            "kind": "dcsad",
+            "results": [
+                {
+                    "rank": item.rank,
+                    "subset": _subset_json(item.subset),
+                    "objective": item.objective,
+                }
+                for item in ranked
+            ],
+        }
+    if kind == "dcsga":
+        from repro.core.newsea import new_sea
+        from repro.core.topk import top_k_dcsga
+
+        assert isinstance(payload, Graph)
+        plus = gd_plus if gd_plus is not None else payload.positive_part()
+        if params["backend"] != "sparse":
+            adjacency = None
+        if params["k"] <= 1:
+            result = new_sea(
+                plus,
+                tol_scale=params["tol_scale"],
+                backend=params["backend"],
+                adjacency=adjacency,
+            )
+            return {
+                "kind": "dcsga",
+                "support": _subset_json(result.support),
+                "objective": result.objective,
+                "is_positive_clique": result.is_positive_clique,
+                "embedding": _embedding_json(result.x),
+                "initializations": result.initializations,
+                "expansion_errors": result.expansion_errors,
+            }
+        ranked = top_k_dcsga(
+            plus,
+            params["k"],
+            tol_scale=params["tol_scale"],
+            backend=params["backend"],
+            adjacency=adjacency,
+        )
+        return {
+            "kind": "dcsga",
+            "results": [
+                {
+                    "rank": item.rank,
+                    "support": _subset_json(item.subset),
+                    "objective": item.objective,
+                    "embedding": _embedding_json(item.embedding or {}),
+                }
+                for item in ranked
+            ],
+        }
+    if kind == "stream":
+        from repro.stream.engine import replay_events
+
+        assert isinstance(payload, EventLog)
+        alerts, stats = replay_events(
+            payload,
+            n_steps=params["steps"],
+            window=params["window"],
+            measure=params["measure"],
+            warmup=params["warmup"],
+            backend=params["backend"],
+            policy=params["policy"],
+            min_score=params["threshold"],
+            tol_scale=params["tol_scale"],
+        )
+        return {
+            "kind": "stream",
+            "alerts": [
+                {
+                    "step": alert.step,
+                    "score": alert.score,
+                    "subset": _subset_json(alert.subset),
+                    "measure": alert.measure,
+                    "source": alert.source,
+                }
+                for alert in alerts
+            ],
+            "stats": {
+                "steps": stats.steps,
+                "events": stats.events,
+                "full_solves": stats.full_solves,
+                "cache_hits": stats.cache_hits,
+                "incumbent_holds": stats.incumbent_holds,
+                "local_probes": stats.local_probes,
+            },
+        }
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# worker-side shared state
+# ----------------------------------------------------------------------
+#: fingerprint -> prepared payload (Graph or EventLog), set at pool init.
+_SHARED_PAYLOADS: Dict[str, Union[Graph, EventLog]] = {}
+#: fingerprint -> (GD+, CSRAdjacency-or-None), built lazily per process.
+_SHARED_PLUS: Dict[str, Tuple[Graph, Optional[CSRAdjacency]]] = {}
+
+
+def _worker_init(payloads: Dict[str, Union[Graph, EventLog]]) -> None:
+    """Pool initializer: receive the shared prep table once per worker."""
+    _SHARED_PAYLOADS.clear()
+    _SHARED_PAYLOADS.update(payloads)
+    _SHARED_PLUS.clear()
+
+
+def _shared_plus(
+    fingerprint: str, graph: Graph, want_csr: bool
+) -> Tuple[Graph, Optional[CSRAdjacency]]:
+    """The positive part (and its CSR) for a fingerprint, built once.
+
+    The positive-part walk and the CSR freeze are the per-graph fixed
+    costs of ``dcsga`` queries; sharing them per fingerprint is the
+    "shared-CSR worker" contract.  A cached entry without CSR is
+    upgraded in place when a sparse query first needs one.
+    """
+    plus, adjacency = _SHARED_PLUS.get(fingerprint, (None, None))
+    if plus is None:
+        plus = graph.positive_part()
+    if want_csr and adjacency is None and scipy_available():
+        adjacency = CSRAdjacency.from_graph(plus)
+    _SHARED_PLUS[fingerprint] = (plus, adjacency)
+    return plus, adjacency
+
+
+class _QueryTimeout(Exception):
+    """Raised (via SIGALRM) inside the executing process on timeout."""
+
+
+def _run_spec(
+    spec: _QuerySpec, timeout: Optional[float] = None
+) -> Tuple[str, Any, float]:
+    """Execute one work order against the shared tables.
+
+    Runs in a worker process (pooled mode) or in the submitting process
+    (serial mode) — either way the executing process's main thread, so
+    *timeout* is enforced with a real ``SIGALRM`` interrupt where the
+    platform allows; elsewhere it degrades to advisory (the query runs
+    to completion).
+
+    Returns ``(status, value, seconds)`` with *seconds* measured where
+    the query actually ran: ``("ok", payload, s)``,
+    ``("error", message, s)`` or ``("timeout", message, s)``.  Nothing
+    query-level is raised — returning the failure keeps it picklable
+    and the worker healthy; only infrastructure failures propagate.
+    """
+    payload = _SHARED_PAYLOADS[spec.fingerprint]
+    start = time.perf_counter()
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+    )
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise _QueryTimeout()
+
+        try:
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+        except ValueError:
+            # Not the main thread: timeouts degrade to advisory.
+            use_alarm = False
+    try:
+        try:
+            adjacency = None
+            gd_plus = None
+            if spec.kind == "dcsga" and isinstance(payload, Graph):
+                gd_plus, adjacency = _shared_plus(
+                    spec.fingerprint,
+                    payload,
+                    want_csr=spec.params["backend"] == "sparse",
+                )
+            answer = execute_payload(
+                spec.kind, spec.params, payload,
+                adjacency=adjacency, gd_plus=gd_plus,
+            )
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous_handler)
+                old_delay, old_interval = previous_timer
+                if old_delay or old_interval:
+                    # Serial mode runs in the host process: re-arm any
+                    # watchdog it had, net of the time we consumed (an
+                    # already-expired one fires as soon as possible).
+                    remaining = max(
+                        1e-6, old_delay - (time.perf_counter() - start)
+                    )
+                    signal.setitimer(
+                        signal.ITIMER_REAL, remaining, old_interval
+                    )
+    except _QueryTimeout:
+        return (
+            "timeout",
+            f"query exceeded its {timeout}s timeout",
+            time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 - the isolation boundary
+        return (
+            "error",
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - start,
+        )
+    return "ok", answer, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class BatchExecutor:
+    """Run batches of typed DCS queries with shared prep and caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to fan solves across (``1`` = in-process).
+    mode:
+        ``"auto"`` (pool only when it can help), ``"process"`` (force a
+        pool), or ``"serial"`` (force in-process).
+    cache:
+        A :class:`~repro.batch.cache.ResultCache`; defaults to a fresh
+        in-memory cache owned by this executor.
+    timeout:
+        Default per-query solve timeout in seconds (a query's own
+        ``timeout`` field overrides it).  ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        mode: str = "auto",
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if mode not in ("auto", "process", "serial"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.mode = mode
+        self.cache = cache if cache is not None else ResultCache()
+        self.timeout = timeout
+        self.stats = BatchStats()
+
+    def _effective_mode(self, pending: int) -> str:
+        if self.mode == "process":
+            # Explicitly forced: honour it even for one worker or one
+            # query (callers use this to validate the pooled path).
+            return "process"
+        if self.mode == "serial" or self.workers == 1 or pending <= 1:
+            return "serial"
+        # auto: a pool of pure-Python solvers only helps with real CPUs;
+        # on a single core it would just add pickling and fork latency.
+        return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+    def run(self, queries: Sequence[BatchQuery]) -> List[BatchResult]:
+        """Execute *queries*; return one result per query, input order."""
+        wall_start = time.perf_counter()
+        queries = assign_qids(queries)
+        plan = BatchPlan(queries)
+        preps = plan.run_preps()
+        payload_table: Dict[str, Union[Graph, EventLog]] = {
+            prep.fingerprint: prep.payload
+            for prep in preps.values()
+            if prep.payload is not None
+        }
+        self.stats = BatchStats(
+            queries=len(queries),
+            workers=self.workers,
+            preps_built=len(preps),
+            preps_shared=plan.shared_preps,
+            prep_seconds=sum(p.seconds for p in preps.values()),
+        )
+
+        results: List[Optional[BatchResult]] = [None] * len(queries)
+        keys: List[str] = [""] * len(queries)
+        pending: List[Tuple[int, _QuerySpec, Optional[float]]] = []
+        first_of_key: Dict[Tuple[str, Optional[float]], int] = {}
+        duplicates: List[Tuple[int, int]] = []  # (position, primary)
+        for position, query in enumerate(queries):
+            prep = preps[plan.prep_of[position]]
+            if prep.error is not None:
+                # Prep-level failure isolation: only the dependants fail.
+                results[position] = BatchResult(
+                    qid=query.qid,
+                    kind=query.kind,
+                    status="error",
+                    fingerprint="",
+                    error=f"prep failed: {prep.error}",
+                    seconds=prep.seconds,
+                )
+                continue
+            params = query.solve_params()
+            keys[position] = cache_key(prep.fingerprint, params)
+            hit = self.cache.get(keys[position])
+            if hit is not None:
+                self.stats.cache_hits += 1
+                results[position] = BatchResult(
+                    qid=query.qid,
+                    kind=query.kind,
+                    status=hit["status"],
+                    fingerprint=prep.fingerprint,
+                    payload=hit["payload"],
+                    error=hit.get("error"),
+                    cached=True,
+                )
+                continue
+            timeout = (
+                query.timeout if query.timeout is not None else self.timeout
+            )
+            # Same input, same parameters, same *budget*, same
+            # submission: solve once and fan the answer out
+            # (memoisation within a run, not just across runs).  The
+            # budget is part of the dedup identity so a query with a
+            # looser timeout never inherits a tighter twin's failure.
+            dedup_key = (keys[position], timeout)
+            primary = first_of_key.get(dedup_key)
+            if primary is not None:
+                duplicates.append((position, primary))
+                continue
+            first_of_key[dedup_key] = position
+            spec = _QuerySpec(
+                qid=query.qid,
+                kind=query.kind,
+                fingerprint=prep.fingerprint,
+                params=params,
+            )
+            pending.append((position, spec, timeout))
+
+        mode = self._effective_mode(len(pending))
+        self.stats.mode = mode
+        if pending:
+            if mode == "process":
+                try:
+                    self._run_pooled(payload_table, pending, results)
+                except BrokenProcessPool:
+                    # A worker died (OOM, hard crash).  Finish the batch
+                    # in-process rather than failing the submission.
+                    self.stats.mode = "process+serial-fallback"
+                    self._run_serial(
+                        payload_table,
+                        [p for p in pending if results[p[0]] is None],
+                        results,
+                    )
+            else:
+                self._run_serial(payload_table, pending, results)
+
+        for position, primary in duplicates:
+            source = results[primary]
+            assert source is not None
+            query = queries[position]
+            if source.status == "ok":
+                self.stats.cache_hits += 1
+            results[position] = BatchResult(
+                qid=query.qid,
+                kind=query.kind,
+                status=source.status,
+                fingerprint=source.fingerprint,
+                payload=source.payload,
+                error=source.error,
+                # Only a real answer counts as served-from-memo; a
+                # replicated failure is not a cached result.
+                cached=source.status == "ok",
+            )
+
+        for position, result in enumerate(results):
+            assert result is not None, "every query must produce a record"
+            if result.status == "error":
+                self.stats.errors += 1
+            elif result.status == "timeout":
+                self.stats.timeouts += 1
+            if result.cached or not keys[position]:
+                continue
+            self.stats.solve_seconds += result.seconds
+            if result.status == "ok":
+                self.stats.solved += 1
+            if result.status == "ok" and keys[position]:
+                # Only real answers are memoised.  Errors and timeouts
+                # can be transient (a worker OOM, a missing optional
+                # dependency, a tight budget) — caching them would serve
+                # the failure forever; resubmission retries instead.
+                self.cache.put(
+                    keys[position],
+                    {
+                        "status": result.status,
+                        "payload": result.payload,
+                        "error": result.error,
+                    },
+                )
+        self.stats.wall_seconds = time.perf_counter() - wall_start
+        return results  # type: ignore[return-value]
+
+    # -- execution paths ----------------------------------------------
+    def _collect(
+        self,
+        position: int,
+        spec: _QuerySpec,
+        results: List[Optional[BatchResult]],
+        waiter,
+    ) -> None:
+        wait_start = time.perf_counter()
+        try:
+            status, value, seconds = waiter()
+        except BrokenProcessPool:
+            raise
+        except Exception as exc:  # pool infrastructure / pickling failure
+            status = "error"
+            value = f"{type(exc).__name__}: {exc}"
+            seconds = time.perf_counter() - wait_start
+        results[position] = BatchResult(
+            qid=spec.qid,
+            kind=spec.kind,
+            status=status,
+            fingerprint=spec.fingerprint,
+            payload=value if status == "ok" else None,
+            error=None if status == "ok" else value,
+            seconds=seconds,
+        )
+
+    def _run_serial(
+        self,
+        payload_table: Dict[str, Union[Graph, EventLog]],
+        pending: Sequence[Tuple[int, _QuerySpec, Optional[float]]],
+        results: List[Optional[BatchResult]],
+    ) -> None:
+        _worker_init(payload_table)
+        try:
+            for position, spec, timeout in pending:
+                self._collect(
+                    position, spec, results,
+                    lambda spec=spec, timeout=timeout: _run_spec(
+                        spec, timeout
+                    ),
+                )
+        finally:
+            # Serial mode borrows the worker tables in *this* process;
+            # release the graphs/CSR buffers once the run is over.
+            _worker_init({})
+
+    def _run_pooled(
+        self,
+        payload_table: Dict[str, Union[Graph, EventLog]],
+        pending: Sequence[Tuple[int, _QuerySpec, Optional[float]]],
+        results: List[Optional[BatchResult]],
+    ) -> None:
+        needed = {spec.fingerprint for _, spec, _ in pending}
+        table = {
+            fp: payload
+            for fp, payload in payload_table.items()
+            if fp in needed
+        }
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            initializer=_worker_init,
+            initargs=(table,),
+        ) as pool:
+            futures = [
+                (position, spec, pool.submit(_run_spec, spec, timeout))
+                for position, spec, timeout in pending
+            ]
+            for position, spec, future in futures:
+                self._collect(position, spec, results, future.result)

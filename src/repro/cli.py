@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
     repro stats  G1.txt G2.txt            # Table II style statistics
     repro dcsad  G1.txt G2.txt            # DCSGreedy (average degree)
     repro dcsga  G1.txt G2.txt --top-k 3  # NewSEA / top-k (graph affinity)
+    repro batch  queries.json --workers 4 # batch service -> JSONL results
     repro stream events.txt --window 5    # incremental monitoring -> JSON
 
 Graphs are whitespace edge lists (``u v weight``; bare ``u`` lines declare
@@ -18,6 +19,15 @@ isolated vertices — the format of :mod:`repro.graph.io`).  Shared flags:
 The mining commands also take ``--backend {python,sparse}``: ``python``
 is the pure-Python reference implementation, ``sparse`` the vectorised
 CSR/NumPy backend (same results, much faster on large graphs).
+
+``repro batch`` serves many typed queries in one submission: a JSON
+array (or JSONL) of query objects — each naming a ``kind`` (``dcsad`` /
+``dcsga`` / ``stream``), an input (``g1``/``g2`` paths, a registry
+``dataset`` name, or an ``events`` file) and any of the flags above as
+fields — is planned into a deduplicated work DAG, executed across
+``--workers`` processes with per-query ``--timeout`` isolation, memoised
+in a content-addressed cache (``--cache-dir`` persists it), and written
+back as one JSONL result record per query.
 
 ``repro stream`` reads an **event file** (``t u v w`` lines: at step
 ``t`` the observed strength of pair ``(u, v)`` became ``w``; bare ``u``
@@ -35,13 +45,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.reporting import format_embedding, format_ratio
 from repro.analysis.stats import NamedDifferenceGraph, dataset_stats_table
 from repro.core.dcsad import dcs_greedy
-from repro.core.difference import (
-    DBLP_DISCRETE,
-    cap_weights,
-    difference_graph,
-    discrete_difference_graph,
-    flip,
-)
+from repro.core.difference import assemble_difference
 from repro.core.newsea import new_sea
 from repro.core.topk import top_k_dcsad, top_k_dcsga
 from repro.graph.graph import Graph
@@ -112,6 +116,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top-k", type=int, default=1, help="mine k disjoint answers"
     )
 
+    batch = sub.add_parser(
+        "batch",
+        help="serve a batch of typed DCS queries (JSON/JSONL in, JSONL out)",
+    )
+    batch.add_argument(
+        "queries",
+        help="query file: a JSON array or JSONL of query objects "
+        "(fields mirror the dcsad/dcsga/stream flags; see "
+        "repro.batch.queries)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the solve fan-out (default 1)",
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("auto", "process", "serial"),
+        default="auto",
+        help="scheduler mode: auto picks a process pool only when it "
+        "can help (default auto)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-query solve timeout in seconds",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist the content-addressed result cache here "
+        "(default: in-memory only)",
+    )
+    batch.add_argument(
+        "--out",
+        default=None,
+        help="write JSONL results to this file (default: stdout)",
+    )
+    batch.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the deduplicated work DAG and exit without solving",
+    )
+
     stream = sub.add_parser(
         "stream",
         help="incremental DCS monitoring over an event file (JSON alerts)",
@@ -161,21 +211,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _load_difference(args: argparse.Namespace) -> Graph:
     g1, g2 = read_pair(args.g1, args.g2)
-    if args.discrete:
-        gd = discrete_difference_graph(
-            g1, g2, DBLP_DISCRETE, require_same_vertices=False
-        )
-        if args.alpha != 1.0:
-            raise SystemExit("--discrete and --alpha are mutually exclusive")
-    else:
-        gd = difference_graph(
-            g1, g2, alpha=args.alpha, require_same_vertices=False
-        )
-    if args.flip:
-        gd = flip(gd)
-    if args.cap is not None:
-        gd = cap_weights(gd, args.cap)
-    return gd
+    if args.discrete and args.alpha != 1.0:
+        raise SystemExit("--discrete and --alpha are mutually exclusive")
+    return assemble_difference(
+        g1,
+        g2,
+        alpha=args.alpha,
+        flipped=args.flip,
+        discrete=args.discrete,
+        cap=args.cap,
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -228,15 +273,15 @@ def _cmd_dcsga(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream.engine import StreamingDCSEngine
+    from repro.stream.engine import replay_events
     from repro.stream.events import read_events
 
     log = read_events(args.events)
-    universe = log.universe
-    if not universe:
+    if not log.universe:
         raise SystemExit(f"{args.events}: no vertices declared or evented")
-    engine = StreamingDCSEngine(
-        universe,
+    alerts, stats = replay_events(
+        log,
+        n_steps=args.steps,
         window=args.window,
         measure=args.measure,
         warmup=args.warmup,
@@ -244,10 +289,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         policy=args.policy,
         min_score=args.threshold,
     )
-    alerts = engine.run(log.events, n_steps=args.steps)
     for alert in alerts:
         print(alert.to_json())
-    stats = engine.stats
     print(
         f"# steps={stats.steps} events={stats.events} alerts={len(alerts)} "
         f"solves={stats.full_solves} cache_hits={stats.cache_hits} "
@@ -257,10 +300,51 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchExecutor, BatchPlan, ResultCache, read_queries
+
+    try:
+        queries = read_queries(args.queries)
+    except (ValueError, TypeError, OSError) as exc:
+        # InputMismatchError is a ValueError; TypeError covers fields
+        # of the wrong JSON type (e.g. "k": "3"); OSError covers a
+        # missing/unreadable file — untrusted input must exit cleanly,
+        # never with a traceback.
+        raise SystemExit(f"{args.queries}: {exc}")
+    if not queries:
+        raise SystemExit(f"{args.queries}: no queries")
+    if args.plan:
+        print(BatchPlan(queries).describe())
+        return 0
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        executor = BatchExecutor(
+            workers=args.workers,
+            mode=args.mode,
+            cache=cache,
+            timeout=args.timeout,
+        )
+    except (ValueError, OSError) as exc:  # bad --workers, cache dir, ...
+        raise SystemExit(str(exc))
+    results = executor.run(queries)
+    lines = "\n".join(result.to_json() for result in results)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as stream:
+                stream.write(lines + "\n")
+        except OSError as exc:
+            raise SystemExit(f"{args.out}: {exc}")
+    else:
+        print(lines)
+    print(f"# {executor.stats.summary()}", file=sys.stderr)
+    return 0 if all(r.status == "ok" for r in results) else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "dcsad": _cmd_dcsad,
     "dcsga": _cmd_dcsga,
+    "batch": _cmd_batch,
     "stream": _cmd_stream,
 }
 

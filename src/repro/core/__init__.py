@@ -30,6 +30,7 @@ from repro.core.difference import (
     DBLP_DISCRETE,
     DifferenceStats,
     DiscreteLevels,
+    assemble_difference,
     cap_weights,
     difference_graph,
     difference_stats,
@@ -79,6 +80,7 @@ from repro.core.topk import RankedDCS, coverage, top_k_dcsad, top_k_dcsga
 
 __all__ = [
     # difference graphs
+    "assemble_difference",
     "difference_graph",
     "discrete_difference_graph",
     "positive_part",

@@ -67,6 +67,45 @@ def positive_part(gd: Graph) -> Graph:
     return gd.positive_part()
 
 
+def assemble_difference(
+    g1: Graph,
+    g2: Graph,
+    alpha: float = 1.0,
+    flipped: bool = False,
+    discrete: bool = False,
+    cap: Optional[float] = None,
+    require_same_vertices: bool = False,
+) -> Graph:
+    """The full input pipeline: ``(G1, G2)`` -> the mined ``GD``.
+
+    Composes the paper's transformations in their canonical order —
+    difference (weighted ``alpha``-generalised, or the DBLP Discrete
+    quantisation), then the Emerging/Disappearing *flip*, then heavy-edge
+    *capping*.  This is the one place the ``repro`` CLI and the batch
+    service agree on what a query's difference parameters mean, so a
+    batch record and a CLI invocation with the same flags mine the same
+    graph.  *discrete* is mutually exclusive with a non-default *alpha*
+    (quantisation fixes the scale that ``alpha`` would re-weight).
+    """
+    if discrete:
+        if alpha != 1.0:
+            raise InputMismatchError(
+                "discrete quantisation and alpha are mutually exclusive"
+            )
+        gd = discrete_difference_graph(
+            g1, g2, DBLP_DISCRETE, require_same_vertices=require_same_vertices
+        )
+    else:
+        gd = difference_graph(
+            g1, g2, alpha=alpha, require_same_vertices=require_same_vertices
+        )
+    if flipped:
+        gd = flip(gd)
+    if cap is not None:
+        gd = cap_weights(gd, cap)
+    return gd
+
+
 def flip(gd: Graph) -> Graph:
     """Swap the roles of G1 and G2 (Emerging <-> Disappearing)."""
     return gd.negated()

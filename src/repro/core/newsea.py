@@ -80,6 +80,7 @@ def new_sea(
     max_expansions: int = 10_000,
     plan: Optional[InitializationPlan] = None,
     backend: str = "python",
+    adjacency=None,
 ) -> DCSGAResult:
     """Algorithm 5 on the positive part ``GD+`` of a difference graph.
 
@@ -93,6 +94,10 @@ def new_sea(
     (:func:`repro.core.sparse_solvers.new_sea_csr`) — same algorithm and
     convergence rules, one CSR build shared across all initialisations,
     and the ``mu_u`` bounds evaluated in a single vectorised pass.
+    *adjacency* (sparse backend only) supplies a prebuilt
+    :class:`~repro.graph.sparse.CSRAdjacency` of ``gd_plus`` so callers
+    running many queries on one graph — the batch layer — skip even
+    that single CSR build.
     """
     if gd_plus.num_vertices == 0:
         raise ValueError("graph has no vertices")
@@ -111,9 +116,12 @@ def new_sea(
             tol_scale=tol_scale,
             max_expansions=max_expansions,
             plan=plan,
+            adjacency=adjacency,
         )
     if backend != "python":
         raise ValueError(f"unknown backend {backend!r}")
+    if adjacency is not None:
+        raise ValueError("adjacency is only meaningful with backend='sparse'")
 
     if plan is None:
         plan = smart_initialization_plan(gd_plus)
@@ -160,6 +168,7 @@ def solve_all_initializations(
     vertices: Optional[Sequence[Vertex]] = None,
     drop_subsumed: bool = True,
     backend: str = "python",
+    adjacency=None,
 ) -> AllInitsResult:
     """Initialise from every vertex; collect all deduplicated solutions.
 
@@ -177,11 +186,21 @@ def solve_all_initializations(
         if backend == "sparse":
             from repro.core.sparse_solvers import csr_vertex_solver
 
-            solver = csr_vertex_solver(gd_plus, tol_scale, max_expansions)
+            solver = csr_vertex_solver(
+                gd_plus, tol_scale, max_expansions, adjacency=adjacency
+            )
         elif backend == "python":
+            if adjacency is not None:
+                raise ValueError(
+                    "adjacency is only meaningful with backend='sparse'"
+                )
             solver = _default_solver(tol_scale, max_expansions)
         else:
             raise ValueError(f"unknown backend {backend!r}")
+    elif adjacency is not None:
+        raise ValueError(
+            "adjacency is unused when a custom solver is supplied"
+        )
     pool = list(vertices) if vertices is not None else sorted(
         gd_plus.vertices(), key=repr
     )

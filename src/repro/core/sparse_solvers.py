@@ -37,7 +37,7 @@ from repro.core.coordinate_descent import _best_pair_move
 from repro.core.expansion import PRUNE_EPS
 from repro.core.initialization import InitializationPlan
 from repro.core.seacd import SEACDResult, SEACDStats
-from repro.exceptions import VertexNotFound
+from repro.exceptions import InputMismatchError, VertexNotFound
 from repro.graph.cliques import is_clique
 from repro.graph.graph import Graph, Vertex
 from repro.graph.sparse import CSRAdjacency
@@ -395,6 +395,33 @@ def _solve_one_vec(
     return x, objective, stats.expansion_errors
 
 
+def _check_shared_adjacency(adjacency: CSRAdjacency, gd_plus: Graph) -> None:
+    """Sanity-check a caller-supplied prebuilt adjacency against *gd_plus*.
+
+    The shared-CSR plumbing makes it easy to pass the adjacency of the
+    *wrong* graph — most treacherously the signed ``GD`` instead of its
+    positive part, which has the same vertex set and would silently
+    poison every solve with negative entries.  Cheap vectorised checks
+    (vertex count, edge count, strict positivity) catch the realistic
+    mix-ups without paying a full content comparison.
+    """
+    if adjacency.n != gd_plus.num_vertices:
+        raise InputMismatchError(
+            f"shared adjacency has {adjacency.n} vertices but the graph "
+            f"has {gd_plus.num_vertices}; it was built from another graph"
+        )
+    if adjacency.num_edges != gd_plus.num_edges:
+        raise InputMismatchError(
+            f"shared adjacency has {adjacency.num_edges} edges but the "
+            f"graph has {gd_plus.num_edges}; it was built from another graph"
+        )
+    if adjacency.data.size and not (adjacency.data > 0).all():
+        raise InputMismatchError(
+            "shared adjacency contains nonpositive weights; it was built "
+            "from the signed difference graph, not its positive part"
+        )
+
+
 def csr_vertex_solver(
     gd_plus: Graph,
     tol_scale: float = 1e-2,
@@ -407,6 +434,8 @@ def csr_vertex_solver(
     *solver* parameter: the CSR matrix is built once here, not once per
     initialisation.
     """
+    if adjacency is not None:
+        _check_shared_adjacency(adjacency, gd_plus)
     adj = (
         adjacency
         if adjacency is not None
@@ -435,6 +464,7 @@ def new_sea_csr(
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
     plan: Optional[InitializationPlan] = None,
+    adjacency: Optional[CSRAdjacency] = None,
 ):
     """Algorithm 5 on the CSR backend; mirrors :func:`repro.core.newsea.new_sea`.
 
@@ -447,7 +477,13 @@ def new_sea_csr(
     from repro.core.newsea import DCSGAResult
     from repro.core.initialization import smart_initialization_plan
 
-    adj = CSRAdjacency.from_graph(gd_plus)
+    if adjacency is not None:
+        _check_shared_adjacency(adjacency, gd_plus)
+    adj = (
+        adjacency
+        if adjacency is not None
+        else CSRAdjacency.from_graph(gd_plus)
+    )
     if plan is None:
         plan = smart_initialization_plan(
             gd_plus, backend="sparse", adjacency=adj

@@ -46,6 +46,7 @@ def top_k_dcsga(
     diversify: bool = True,
     tol_scale: float = 1e-2,
     backend: str = "python",
+    adjacency=None,
 ) -> List[RankedDCS]:
     """Top-k positive-clique solutions by graph affinity.
 
@@ -54,12 +55,14 @@ def top_k_dcsga(
     solutions.  With *diversify*, supports are made pairwise disjoint by
     best-first selection, so each answer describes a different group.
     ``backend="sparse"`` runs every initialisation on the vectorised CSR
-    solver over one shared adjacency.
+    solver over one shared adjacency; *adjacency* supplies that
+    :class:`~repro.graph.sparse.CSRAdjacency` prebuilt (the batch layer
+    shares one per graph fingerprint across queries).
     """
     if k <= 0:
         raise ValueError("k must be positive")
     result = solve_all_initializations(
-        gd_plus, tol_scale=tol_scale, backend=backend
+        gd_plus, tol_scale=tol_scale, backend=backend, adjacency=adjacency
     )
     ranked: List[RankedDCS] = []
     used: Set[Vertex] = set()
@@ -82,18 +85,30 @@ def top_k_dcsga(
 
 def _remove_found(
     gd: Graph, subset: Set[Vertex], strategy: RemovalStrategy
-) -> Graph:
+) -> Tuple[Graph, int]:
+    """Strip the found structure; return ``(residual, removed_count)``.
+
+    *removed_count* is the number of vertices or edges actually deleted —
+    the iteration's progress measure.  A round that removes nothing can
+    never change the next round's answer, so the caller must stop
+    instead of looping on (or raising over) a frozen residual.
+    """
     stripped = gd.copy()
     if strategy == "vertices":
+        removed = 0
         for vertex in subset:
-            stripped.remove_vertex(vertex)
-        return stripped
+            if stripped.has_vertex(vertex):
+                stripped.remove_vertex(vertex)
+                removed += 1
+        return stripped, removed
     if strategy == "edges":
+        removed = 0
         members = list(subset)
         for i, u in enumerate(members):
             for v in members[i + 1 :]:
-                stripped.discard_edge(u, v)
-        return stripped
+                if stripped.discard_edge(u, v) is not None:
+                    removed += 1
+        return stripped, removed
     raise ValueError(f"unknown removal strategy {strategy!r}")
 
 
@@ -113,9 +128,18 @@ def top_k_dcsad(
     *min_objective* (default: only strictly positive answers).
     *backend* is the peeling backend of each DCSGreedy round
     (``"heap"``, ``"segment_tree"`` or ``"sparse"``).
+
+    Termination is guaranteed for any *k* and *min_objective*: the loop
+    stops cleanly (no exception, no repeated answers) as soon as the
+    residual graph has no positive edge left, or as soon as a round
+    fails to remove anything — with ``strategy="edges"`` an answer can
+    re-surface structure whose induced edges are already gone, and such
+    a round makes no progress.
     """
     if k <= 0:
         raise ValueError("k must be positive")
+    if strategy not in ("vertices", "edges"):
+        raise ValueError(f"unknown removal strategy {strategy!r}")
     ranked: List[RankedDCS] = []
     work = gd.copy()
     for rank in range(k):
@@ -123,9 +147,14 @@ def top_k_dcsad(
             break
         heaviest = work.max_weight_edge()
         if heaviest is None or heaviest[2] <= 0:
+            # The residual has no positive edge: every later round would
+            # return the degenerate zero-contrast answer.  Stop cleanly.
             break
         result: DCSADResult = dcs_greedy(work, backend=backend)
         if result.density <= min_objective:
+            break
+        work, removed = _remove_found(work, result.subset, strategy)
+        if removed == 0:
             break
         ranked.append(
             RankedDCS(
@@ -134,7 +163,6 @@ def top_k_dcsad(
                 objective=result.density,
             )
         )
-        work = _remove_found(work, result.subset, strategy)
     return ranked
 
 

@@ -12,6 +12,7 @@ dataset should call the underlying builders directly.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -133,6 +134,57 @@ BUILDERS: Dict[str, Callable[..., List[NamedDifferenceGraph]]] = {
     "DBLP-C": dblp_c_entries,
     "Actor": actor_entries,
 }
+
+
+def entry_name(entry: NamedDifferenceGraph) -> str:
+    """Canonical ``Data/Setting/GDType`` name of a Table II row.
+
+    This is the dataset-reference vocabulary of the batch layer: a
+    query's ``{"dataset": "DBLP/Weighted/Emerging"}`` resolves through
+    :func:`build_named`.
+    """
+    return f"{entry.data}/{entry.setting}/{entry.gd_type}"
+
+
+@functools.lru_cache(maxsize=1)
+def _name_index() -> Dict[str, str]:
+    """``Data/Setting/GDType`` name -> builder family, one source of
+    truth: enumerated from the builders themselves at minimum scale, so
+    adding a family (or a row) needs no second registration site.  The
+    enumeration is cached after first use — code registering extra
+    ``BUILDERS`` entries at runtime must do so before the first
+    resolution, or call ``_name_index.cache_clear()``."""
+    index: Dict[str, str] = {}
+    for family, builder in BUILDERS.items():
+        for entry in builder(scale=0.0):
+            index[entry_name(entry)] = family
+    return index
+
+
+def entry_names() -> List[str]:
+    """All resolvable dataset names (the batch layer's vocabulary)."""
+    return list(_name_index())
+
+
+def build_named(name: str, scale: float = 1.0) -> NamedDifferenceGraph:
+    """Resolve one ``Data/Setting/GDType`` name to its difference graph.
+
+    Only the named row's *family* is synthesised (not all of Table II),
+    so resolving a single dataset reference stays cheap.  Raises
+    ``KeyError`` with the valid vocabulary on an unknown name.
+    """
+    family = _name_index().get(name)
+    if family is None:
+        raise KeyError(
+            f"unknown dataset name {name!r} (format 'Data/Setting/GDType', "
+            f"'-' for a blank column); valid names: {entry_names()}"
+        )
+    for entry in BUILDERS[family](scale=scale):
+        if entry_name(entry) == name:
+            return entry
+    raise KeyError(  # pragma: no cover - builders are deterministic
+        f"dataset {name!r} vanished from family {family!r}"
+    )
 
 
 def build_all(

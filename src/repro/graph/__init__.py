@@ -29,7 +29,7 @@ from repro.graph.cores import (
 )
 from repro.graph.graph import Graph, Vertex
 from repro.graph.io import read_edge_list, read_pair, write_edge_list, write_pair
-from repro.graph.sparse import CSRAdjacency, scipy_available
+from repro.graph.sparse import CSRAdjacency, graph_fingerprint, scipy_available
 from repro.graph.matrices import (
     affinity_matrix,
     embedding_to_vector,
@@ -51,6 +51,7 @@ __all__ = [
     "Graph",
     "Vertex",
     "CSRAdjacency",
+    "graph_fingerprint",
     "scipy_available",
     "SubgraphView",
     "bfs_layers",

@@ -26,6 +26,7 @@ succeeds, and only *using* the sparse backend raises
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,6 +47,38 @@ except ImportError:  # pragma: no cover - container ships SciPy
 def scipy_available() -> bool:
     """Whether the sparse backend can be used in this environment."""
     return _scipy_sparse is not None
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a :class:`Graph` — the identity of a frozen input.
+
+    Two graphs fingerprint equally iff they have the same vertex set
+    (by ``repr``) and the same edge weights (bit-exact, via ``hex()``).
+    The batch layer keys its shared-preprocessing DAG and its
+    content-addressed result cache on this, so the hash must be stable
+    across processes and sessions — it deliberately uses ``repr``
+    ordering (the backend tie-break order) and no ``hash()`` (which is
+    salted per process for strings).
+
+    Pure hashing over the dict-of-dicts form; SciPy is not required.
+    """
+    digest = hashlib.sha256()
+    for vertex in sorted(map(repr, graph.vertices())):
+        digest.update(vertex.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    edges = sorted(
+        (min(repr(u), repr(v)), max(repr(u), repr(v)), weight)
+        for u, v, weight in graph.edges()
+    )
+    for u, v, weight in edges:
+        digest.update(u.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(v.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(float(weight).hex().encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def _require_scipy() -> None:
@@ -147,6 +180,17 @@ class CSRAdjacency:
 
     def __repr__(self) -> str:
         return f"<CSRAdjacency n={self.n} m={self.num_edges}>"
+
+    def __reduce__(self):
+        """Pickle as ``(vertices, matrix)`` and rebuild through __init__.
+
+        The batch layer ships frozen adjacencies to worker processes;
+        reducing to the constructor arguments keeps the payload minimal
+        (the ``index`` map and the ``dense_block`` scratch buffer are
+        derived state) and guarantees the raw ``indptr``/``indices``/
+        ``data`` views are re-bound to the unpickled matrix.
+        """
+        return (self.__class__, (self.vertices, self.matrix))
 
     # ------------------------------------------------------------------
     # kernels

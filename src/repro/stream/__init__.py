@@ -39,6 +39,7 @@ from repro.stream.engine import (
     EngineStats,
     SolveOutcome,
     StreamingDCSEngine,
+    replay_events,
     snapshot_recompute,
     solve_difference,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "EngineStats",
     "SolveOutcome",
     "StreamingDCSEngine",
+    "replay_events",
     "snapshot_recompute",
     "solve_difference",
     "EdgeEvent",

@@ -555,6 +555,30 @@ class StreamingDCSEngine:
         return SolveOutcome(subset=subset, score=score, x=incumbent.x)
 
 
+def replay_events(
+    log,
+    n_steps: Optional[int] = None,
+    universe: Optional[Iterable[Vertex]] = None,
+    **engine_params,
+) -> Tuple[AlertLog, EngineStats]:
+    """One-shot replay: build an engine, run a whole event log, return
+    ``(alerts, stats)``.
+
+    *log* is an :class:`~repro.stream.events.EventLog` (its declared
+    universe is used unless *universe* overrides it).  All remaining
+    keyword arguments configure :class:`StreamingDCSEngine`.  This is
+    the entry point shared by ``repro stream`` and the batch layer's
+    ``stream_replay`` queries — both replay a recorded log and care only
+    about the final alert set and the engine counters.
+    """
+    members = set(universe) if universe is not None else set(log.universe)
+    if not members:
+        raise ValueError("event log declares no vertices and has no events")
+    engine = StreamingDCSEngine(members, **engine_params)
+    alerts = engine.run(log.events, n_steps=n_steps)
+    return alerts, engine.stats
+
+
 # ----------------------------------------------------------------------
 # the naive reference: full snapshot recompute, every step
 # ----------------------------------------------------------------------

@@ -1,0 +1,259 @@
+"""Randomized cross-backend oracle suite.
+
+Every solver in the library is swept over seeded random signed graphs
+and held to the invariants the paper proves about its answers:
+
+* **Backend parity** — the pure-Python reference, the segment-tree
+  peeling structure and the vectorised CSR backend implement the same
+  algorithms, so their objectives must agree (subsets may differ only
+  on exact ties, which the continuous random weights make improbable).
+* **KKT validity** (Theorem 4 territory) — every embedding returned by
+  SEACD / Refinement / NewSEA is a KKT point of ``max x^T D x`` on the
+  simplex, up to the solver's convergence tolerance.
+* **The Theorem 2 certificate** — DCSGreedy's data-dependent ratio
+  ``beta = 2 rho_{D+}(S2) / rho_D(S)`` upper-bounds optimal/found, so
+  ``beta >= 1`` on every input where it is defined.
+
+These are *oracle* tests: they check answer properties that hold for
+every input, so new seeds can be added freely without computing
+expected outputs by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.affinity.replicator import replicator_dynamics
+from repro.core.dcsad import dcs_greedy
+from repro.core.embedding import validate_simplex
+from repro.core.kkt import check_kkt
+from repro.core.newsea import new_sea
+from repro.core.refinement import refine
+from repro.core.seacd import seacd
+from repro.core.topk import top_k_dcsad, top_k_dcsga
+from repro.graph.cliques import is_clique
+from repro.graph.generators import random_signed_graph
+from repro.graph.graph import Graph
+from repro.graph.sparse import scipy_available
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="sparse backend requires SciPy"
+)
+
+#: The sweep: (seed, n, p) for seeded G(n, p) signed graphs.  Chosen to
+#: cover sparse/dense and small/medium regimes while staying fast.
+CASES = [
+    (seed, n, p)
+    for seed in (0, 1, 2, 3, 4)
+    for n, p in ((18, 0.35), (40, 0.18), (70, 0.09))
+]
+
+#: KKT slack: the solvers converge to tol_scale-dependent precision
+#: (default 1e-2 scaled by local objective), observed gaps stay an
+#: order of magnitude below this.
+KKT_TOL = 5e-3
+
+
+def _gd(seed: int, n: int, p: float) -> Graph:
+    return random_signed_graph(n, p, seed=seed)
+
+
+def _objective(graph: Graph, x) -> float:
+    total = 0.0
+    for u, xu in x.items():
+        for v, weight in graph.neighbors(u).items():
+            xv = x.get(v)
+            if xv is not None:
+                total += xu * xv * weight
+    return total
+
+
+@pytest.mark.parametrize("seed,n,p", CASES)
+class TestDCSADOracle:
+    def test_peeling_backends_agree(self, seed, n, p):
+        gd = _gd(seed, n, p)
+        reference = dcs_greedy(gd, backend="heap")
+        for backend in ("segment_tree",) + (
+            ("sparse",) if scipy_available() else ()
+        ):
+            other = dcs_greedy(gd, backend=backend)
+            assert other.density == pytest.approx(reference.density), backend
+            assert other.subset == reference.subset, backend
+
+    def test_reported_density_is_exact(self, seed, n, p):
+        gd = _gd(seed, n, p)
+        result = dcs_greedy(gd)
+        recomputed = gd.total_degree(result.subset) / len(result.subset)
+        assert result.density == pytest.approx(recomputed)
+
+    def test_theorem2_certificate_beta_at_least_one(self, seed, n, p):
+        gd = _gd(seed, n, p)
+        result = dcs_greedy(gd)
+        if result.ratio_bound is None:
+            # Only legal when the graph has no positive edge at all.
+            heaviest = gd.max_weight_edge()
+            assert heaviest is None or heaviest[2] <= 0 or (
+                result.density <= 0
+            )
+        else:
+            assert result.ratio_bound >= 1.0 - 1e-12
+
+    def test_answer_beats_every_single_edge(self, seed, n, p):
+        """rho of the answer >= the heaviest edge's contrast (a candidate)."""
+        gd = _gd(seed, n, p)
+        heaviest = gd.max_weight_edge()
+        if heaviest is None or heaviest[2] <= 0:
+            return
+        result = dcs_greedy(gd)
+        assert result.density >= heaviest[2] - 1e-12
+
+
+@pytest.mark.parametrize("seed,n,p", CASES)
+class TestDCSGAOracle:
+    def test_backends_agree_and_answers_are_kkt_cliques(self, seed, n, p):
+        gd_plus = _gd(seed, n, p).positive_part()
+        if gd_plus.num_edges == 0:
+            return
+        results = {"python": new_sea(gd_plus, backend="python")}
+        if scipy_available():
+            results["sparse"] = new_sea(gd_plus, backend="sparse")
+        for backend, result in results.items():
+            assert result.objective >= 0.0, backend
+            assert result.is_positive_clique, backend
+            assert is_clique(gd_plus, result.support), backend
+            validate_simplex(result.x)
+            assert result.objective == pytest.approx(
+                _objective(gd_plus, result.x), abs=1e-9
+            ), backend
+            report = check_kkt(gd_plus, result.x, tol=KKT_TOL)
+            assert report.is_kkt, (backend, report.gap)
+        if "sparse" in results:
+            assert results["sparse"].objective == pytest.approx(
+                results["python"].objective, rel=1e-6
+            )
+
+    def test_seacd_refine_pipeline_parity(self, seed, n, p):
+        gd_plus = _gd(seed, n, p).positive_part()
+        if gd_plus.num_edges == 0:
+            return
+        start = max(gd_plus.vertices(), key=lambda u: gd_plus.degree(u))
+        py = seacd(gd_plus, {start: 1.0})
+        refined = refine(gd_plus, py.x)
+        validate_simplex(refined.x)
+        assert refined.objective >= py.objective - 1e-9
+        assert check_kkt(gd_plus, refined.x, tol=KKT_TOL).is_kkt
+        if scipy_available():
+            from repro.core.sparse_solvers import refine_csr, seacd_csr
+
+            sp = seacd_csr(gd_plus, {start: 1.0})
+            x_sp, objective_sp, _, _ = refine_csr(gd_plus, sp.x)
+            assert objective_sp == pytest.approx(refined.objective, rel=1e-6)
+            assert check_kkt(gd_plus, x_sp, tol=KKT_TOL).is_kkt
+
+    def test_replicator_backends_agree(self, seed, n, p):
+        gd_plus = _gd(seed, n, p).positive_part()
+        if gd_plus.num_edges == 0:
+            return
+        uniform = {u: 1.0 / gd_plus.num_vertices for u in gd_plus.vertices()}
+        py = replicator_dynamics(gd_plus, dict(uniform))
+        assert py.objective == pytest.approx(
+            _objective(gd_plus, py.x), abs=1e-9
+        )
+        if scipy_available():
+            sp = replicator_dynamics(gd_plus, dict(uniform), backend="sparse")
+            assert sp.objective == pytest.approx(py.objective, rel=1e-6)
+
+
+@needs_scipy
+class TestSharedAdjacencyContract:
+    """The adjacency= plumbing must reject mismatched prebuilt CSRs."""
+
+    def test_signed_adjacency_rejected_for_positive_solve(self):
+        from repro.exceptions import InputMismatchError
+        from repro.graph.sparse import CSRAdjacency
+
+        gd = random_signed_graph(30, 0.3, seed=9)
+        gd_plus = gd.positive_part()
+        wrong = CSRAdjacency.from_graph(gd)  # same vertices, signed data
+        with pytest.raises(InputMismatchError):
+            new_sea(gd_plus, backend="sparse", adjacency=wrong)
+
+    def test_foreign_graph_adjacency_rejected(self):
+        from repro.exceptions import InputMismatchError
+        from repro.graph.sparse import CSRAdjacency
+
+        gd_plus = random_signed_graph(30, 0.3, seed=9).positive_part()
+        other = random_signed_graph(12, 0.4, seed=10).positive_part()
+        with pytest.raises(InputMismatchError):
+            new_sea(
+                gd_plus,
+                backend="sparse",
+                adjacency=CSRAdjacency.from_graph(other),
+            )
+
+    def test_matching_adjacency_accepted_and_equivalent(self):
+        from repro.core.newsea import solve_all_initializations
+        from repro.graph.sparse import CSRAdjacency
+
+        gd_plus = random_signed_graph(30, 0.3, seed=9).positive_part()
+        adj = CSRAdjacency.from_graph(gd_plus)
+        with_shared = new_sea(gd_plus, backend="sparse", adjacency=adj)
+        without = new_sea(gd_plus, backend="sparse")
+        assert with_shared.objective == pytest.approx(without.objective)
+        all_inits = solve_all_initializations(
+            gd_plus, backend="sparse", adjacency=adj
+        )
+        assert all_inits.best.objective == pytest.approx(without.objective)
+
+    def test_python_backend_rejects_adjacency(self):
+        from repro.core.newsea import solve_all_initializations
+        from repro.graph.sparse import CSRAdjacency
+
+        gd_plus = random_signed_graph(20, 0.3, seed=9).positive_part()
+        adj = CSRAdjacency.from_graph(gd_plus)
+        with pytest.raises(ValueError):
+            new_sea(gd_plus, backend="python", adjacency=adj)
+        with pytest.raises(ValueError):
+            solve_all_initializations(
+                gd_plus, backend="python", adjacency=adj
+            )
+        with pytest.raises(ValueError):
+            solve_all_initializations(
+                gd_plus,
+                solver=lambda g, v: ({v: 1.0}, 0.0, 0),
+                adjacency=adj,
+            )
+
+
+@pytest.mark.parametrize("seed,n,p", CASES)
+class TestTopKOracle:
+    def test_top_k_dcsad_backends_agree(self, seed, n, p):
+        gd = _gd(seed, n, p)
+        reference = top_k_dcsad(gd, 4, backend="heap")
+        backends = ["segment_tree"] + (
+            ["sparse"] if scipy_available() else []
+        )
+        for backend in backends:
+            other = top_k_dcsad(gd, 4, backend=backend)
+            assert [r.objective for r in other] == pytest.approx(
+                [r.objective for r in reference]
+            ), backend
+        # Certificate per round: each answer's density is its objective.
+        for item in reference:
+            assert item.objective > 0.0
+
+    @needs_scipy
+    def test_top_k_dcsga_backends_agree(self, seed, n, p):
+        gd_plus = _gd(seed, n, p).positive_part()
+        if gd_plus.num_edges == 0:
+            return
+        py = top_k_dcsga(gd_plus, 3, backend="python")
+        sp = top_k_dcsga(gd_plus, 3, backend="sparse")
+        assert [r.objective for r in sp] == pytest.approx(
+            [r.objective for r in py], rel=1e-6
+        )
+        for item in py:
+            assert is_clique(gd_plus, item.subset)
+            assert item.embedding is not None
+            report = check_kkt(gd_plus, item.embedding, tol=KKT_TOL)
+            assert report.is_kkt, report.gap

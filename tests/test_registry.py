@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets.registry import BUILDERS, build_all
+from repro.datasets.registry import (
+    BUILDERS,
+    build_all,
+    build_named,
+    entry_name,
+    entry_names,
+)
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +83,25 @@ class TestRegistry:
             "DBLP-C",
             "Actor",
         }
+
+    def test_entry_names_cover_all_sixteen_rows(self, entries):
+        names = entry_names()
+        assert len(names) == 16
+        assert names == [entry_name(e) for e in entries]
+
+    def test_build_named_resolves_single_rows(self):
+        entry = build_named("DBLP/Weighted/Emerging", scale=0.05)
+        assert (entry.data, entry.setting, entry.gd_type) == (
+            "DBLP", "Weighted", "Emerging"
+        )
+        flipped = build_named("Movie/-/Social-Interest", scale=0.05)
+        assert flipped.data == "Movie"
+
+    def test_build_named_unknown_name_lists_vocabulary(self):
+        with pytest.raises(KeyError, match="DBLP/Weighted/Emerging"):
+            build_named("Nope/-/-")
+        with pytest.raises(KeyError, match="Data/Setting/GDType"):
+            build_named("not-a-triple")
 
     def test_scale_changes_size(self):
         small = BUILDERS["DBLP"](scale=0.2)[0]

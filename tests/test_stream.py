@@ -314,6 +314,126 @@ class TestEngineParity:
         assert stats.full_solves < warmed
 
 
+def _adversarial_log():
+    """Expiry bursts + vertex churn — the gated policy's hard regime.
+
+    Three stressors the incumbent-gating heuristics must survive:
+
+    * **expiry bursts** — clusters surge for two steps and are then
+      re-observed at 0, so their difference contrast first spikes, then
+      *flips sign* while the window mean still remembers the surge;
+    * **vertex churn** — the ``b*`` vertices acquire edges and later
+      lose every one of them, leaving isolated universe members whose
+      stale incumbent answers must be dropped, not held;
+    * a stable background pair so the difference is never empty noise.
+
+    Steps 0..19 over a 13-vertex universe; deterministic by design.
+    """
+    events = []
+
+    def ev(t, u, v, w):
+        events.append(EdgeEvent(t, u, v, w))
+
+    for t in range(0, 20, 2):  # stable background
+        ev(t, "s1", "s2", 1.0)
+        ev(t, "s2", "s3", 1.0)
+    cluster_a = ["a1", "a2", "a3", "a4"]
+    for t in (6, 7):  # burst
+        for i, u in enumerate(cluster_a):
+            for v in cluster_a[i + 1:]:
+                ev(t, u, v, 6.0)
+    for i, u in enumerate(cluster_a):  # expiry
+        for v in cluster_a[i + 1:]:
+            ev(8, u, v, 0.0)
+    cluster_b = ["b1", "b2", "b3"]
+    for i, u in enumerate(cluster_b):  # churn in
+        for v in cluster_b[i + 1:]:
+            ev(10, u, v, 4.0)
+    for i, u in enumerate(cluster_b):  # churn out (all edges vanish)
+        for v in cluster_b[i + 1:]:
+            ev(12, u, v, 0.0)
+    cluster_c = ["c1", "c2", "c3"]
+    for t in (14, 15):  # late burst on fresh vertices
+        for i, u in enumerate(cluster_c):
+            for v in cluster_c[i + 1:]:
+                ev(t, u, v, 5.0)
+    for i, u in enumerate(cluster_c):
+        for v in cluster_c[i + 1:]:
+            ev(16, u, v, 0.0)
+    events.sort()
+    universe = (
+        {"s1", "s2", "s3"} | set(cluster_a) | set(cluster_b) | set(cluster_c)
+    )
+    return events, universe, 20
+
+
+class TestGatedAdversarialParity:
+    """Regression pins: gated == exact on the adversarial log.
+
+    The gated policy trades exactness for fewer solves in general; on
+    this expiry-burst + churn log it currently achieves *full* alert
+    parity with the exact policy on both backends and both measures,
+    while genuinely holding incumbents.  These tests pin that behaviour
+    so a future gating change that starts dropping or inventing alerts
+    under expiry/churn is caught immediately.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("measure", ["average_degree", "affinity"])
+    def test_alert_parity_exact_vs_gated(self, backend, measure):
+        events, universe, n_steps = _adversarial_log()
+
+        def run(policy):
+            engine = StreamingDCSEngine(
+                universe,
+                window=4,
+                min_score=1e-6,
+                backend=backend,
+                policy=policy,
+                measure=measure,
+            )
+            return engine, engine.run(events, n_steps=n_steps)
+
+        _, exact_alerts = run("exact")
+        gated_engine, gated_alerts = run("gated")
+        assert alert_keys(gated_alerts) == alert_keys(exact_alerts)
+        by_step = {a.step: a.score for a in exact_alerts}
+        for alert in gated_alerts:
+            assert alert.score == pytest.approx(by_step[alert.step], abs=1e-9)
+        # The parity must be earned, not vacuous: the gate really held
+        # incumbents and skipped solves on this log.
+        stats = gated_engine.stats
+        assert stats.incumbent_holds > 0
+        assert stats.rescores > 0
+
+    def test_gated_solves_fewer_than_exact(self):
+        events, universe, n_steps = _adversarial_log()
+        exact = StreamingDCSEngine(
+            universe, window=4, min_score=1e-6, policy="exact"
+        )
+        exact.run(events, n_steps=n_steps)
+        gated = StreamingDCSEngine(
+            universe, window=4, min_score=1e-6, policy="gated"
+        )
+        gated.run(events, n_steps=n_steps)
+        assert gated.stats.full_solves < exact.stats.full_solves
+
+    def test_expiry_burst_alerts_flag_the_bursting_cluster(self):
+        events, universe, n_steps = _adversarial_log()
+        engine = StreamingDCSEngine(
+            universe, window=4, min_score=1e-6, policy="gated"
+        )
+        alerts = engine.run(events, n_steps=n_steps)
+        by_step = {a.step: a for a in alerts}
+        # While cluster A bursts, it is the flagged structure.
+        assert by_step[6].subset == frozenset({"a1", "a2", "a3", "a4"})
+        assert by_step[7].subset == frozenset({"a1", "a2", "a3", "a4"})
+        # After the churn-out at 12, the b-cluster never resurfaces.
+        for step, alert in by_step.items():
+            if step >= 13:
+                assert not (alert.subset & {"b1", "b2", "b3"}), step
+
+
 class TestEngineBehaviour:
     def test_unknown_vertex_rejected(self):
         engine = StreamingDCSEngine(["a", "b"], window=2)

@@ -113,6 +113,52 @@ class TestTopKDCSAD:
         results = top_k_dcsad(gd, k=3, min_objective=5.0)
         assert len(results) == 1
 
+    def test_edges_removal_stops_cleanly_when_positive_edges_run_out(self):
+        """k far beyond the positive structure must stop, not raise/loop.
+
+        After every positive edge has been mined out, the residual still
+        holds vertices and negative edges; further rounds have nothing
+        to return and the iteration must end cleanly.
+        """
+        gd = Graph.from_edges(
+            [
+                ("a", "b", 2.0),
+                ("b", "c", 1.5),
+                ("a", "c", -1.0),
+                ("c", "d", -3.0),
+            ]
+        )
+        results = top_k_dcsad(gd, k=50, strategy="edges")
+        assert 1 <= len(results) < 50
+        assert all(item.objective > 0 for item in results)
+        # Each round consumed structure: no answer repeats.
+        subsets = [frozenset(item.subset) for item in results]
+        assert len(subsets) == len(set(subsets))
+
+    def test_edges_removal_exhausts_with_negative_min_objective(self):
+        """Even min_objective=-inf cannot make the loop spin or raise:
+        the no-positive-edge stop fires once the structure is gone."""
+        gd = _two_cliques_gd()
+        results = top_k_dcsad(
+            gd, k=100, strategy="edges", min_objective=float("-inf")
+        )
+        assert len(results) < 100
+        positive_edges = sum(1 for _, _, w in gd.edges() if w > 0)
+        # Every round removes at least one edge, bounding the rounds.
+        assert len(results) <= gd.num_edges
+        assert all(item.objective > 0 for item in results[: positive_edges])
+
+    @pytest.mark.parametrize("strategy", ["vertices", "edges"])
+    def test_random_exhaustion_terminates(self, strategy):
+        for seed in range(5):
+            gd = random_signed_graph(20, 0.3, seed=seed)
+            results = top_k_dcsad(gd, k=10_000, strategy=strategy)
+            assert all(item.objective > 0 for item in results)
+            # Ranks are consecutive from 0.
+            assert [item.rank for item in results] == list(
+                range(len(results))
+            )
+
 
 class TestCoverage:
     def test_union_of_subsets(self):
