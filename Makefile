@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test coverage bench-smoke bench-stream bench-batch bench docs-check check
+.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
@@ -22,6 +22,19 @@ coverage:
 		{ echo "pytest-cov is not installed: pip install pytest-cov"; exit 1; }
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
 		--cov-fail-under=$(COV_MIN)
+
+## Lint + type gates: ruff (runtime-correctness rule tier, see
+## ruff.toml) over the library, and a `mypy --strict` pass over the
+## engine layer (the dispatch seam every other layer builds on).
+## Requires ruff + mypy (`pip install ruff mypy`); plain `make test`
+## stays dependency-light.
+lint:
+	@$(PYTHON) -c "import ruff" 2>/dev/null || \
+		{ echo "ruff is not installed: pip install ruff"; exit 1; }
+	$(PYTHON) -m ruff check src examples
+	@$(PYTHON) -c "import mypy" 2>/dev/null || \
+		{ echo "mypy is not installed: pip install mypy"; exit 1; }
+	$(PYTHON) -m mypy --strict src/repro/engine
 
 ## Scalability + streaming + batch gates: sparse-vs-python backend
 ## speedup (>= 5x at the largest planted size), incremental-engine
@@ -48,10 +61,12 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 ## Documentation examples must execute: doctest over the README's
-## code blocks fails the build on any broken example.
+## code blocks (and the doctested custom-backend example) fails the
+## build on any broken example.
 docs-check:
 	$(PYTHON) -m doctest README.md
-	@echo "README examples OK"
+	$(PYTHON) -m doctest examples/custom_backend.py
+	@echo "README + example doctests OK"
 
 ## Everything a PR should pass.
 check: test docs-check bench-smoke

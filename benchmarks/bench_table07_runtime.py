@@ -70,10 +70,10 @@ def _run_all():
                 "t_sea": t_sea,
                 "errors_sea": all_sea.expansion_errors,
                 "errors_seacd": all_cd.expansion_errors,
-                "f_newsea": result.payload["objective"],
+                "f_newsea": result.payload["density"],
                 "f_seacd": all_cd.best.objective,
                 "f_sea": all_sea.best.objective,
-                "inits_newsea": result.payload["initializations"],
+                "inits_newsea": result.payload["detail"]["initializations"],
             }
         )
     return rows

@@ -76,13 +76,13 @@ def main() -> None:
     print()
 
     for result in results[:4]:
+        # Every graph query returns the same typed envelope: the
+        # headline score is always under "density", whatever the measure.
         answer = result.payload
-        headline = (
-            f"density {answer['density']:.3f}"
-            if result.kind == "dcsad" and "density" in answer
-            else f"objective {answer.get('objective', 0.0):.3f}"
+        print(
+            f"  {result.qid:38s} {result.status:5s} "
+            f"{answer['measure']} {answer['density']:.3f}"
         )
-        print(f"  {result.qid:38s} {result.status:5s} {headline}")
     print(f"  ... and {len(results) - 4} more")
     print()
 

@@ -22,14 +22,16 @@ Quickstart::
     print(dcs_graph_affinity(g1, g2).support)      # {'a', 'b', 'c'}
 
 Lower-level building blocks live in the subpackages: :mod:`repro.graph`
-(graph substrate), :mod:`repro.core` (the paper's algorithms),
-:mod:`repro.affinity` (the original-SEA baseline), :mod:`repro.flow`
-(exact densest subgraph), :mod:`repro.baselines` (EgoScan),
-:mod:`repro.datasets` (synthetic data) and :mod:`repro.analysis`
-(metrics and reporting).  Two serving layers sit on top:
-:mod:`repro.stream` (incremental DCS over live edge events) and
-:mod:`repro.batch` (many-query submissions with shared preprocessing,
-worker processes and a content-addressed result cache).
+(graph substrate), :mod:`repro.engine` (the unified solver engine:
+pluggable backend registry, :class:`~repro.engine.PreparedGraph`
+shared-preparation context, typed result envelope), :mod:`repro.core`
+(the paper's algorithms), :mod:`repro.affinity` (the original-SEA
+baseline), :mod:`repro.flow` (exact densest subgraph),
+:mod:`repro.baselines` (EgoScan), :mod:`repro.datasets` (synthetic
+data) and :mod:`repro.analysis` (metrics and reporting).  Two serving
+layers sit on top: :mod:`repro.stream` (incremental DCS over live edge
+events) and :mod:`repro.batch` (many-query submissions with shared
+preprocessing, worker processes and a content-addressed result cache).
 """
 
 from __future__ import annotations

@@ -23,8 +23,9 @@ Two convergence conditions are offered:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional, Set
+from typing import Dict, Literal, Set
 
+from repro.engine.registry import BackendLike, resolve_backend
 from repro.graph.graph import Graph, Vertex
 
 ConvergenceRule = Literal["objective", "gradient"]
@@ -64,7 +65,7 @@ def replicator_dynamics(
     rule: ConvergenceRule = "objective",
     tol: float = 1e-6,
     max_iterations: int = 100_000,
-    backend: str = "python",
+    backend: BackendLike = "python",
 ) -> ReplicatorResult:
     """Iterate Eq. 12 from *x0* until the chosen convergence rule fires.
 
@@ -75,14 +76,24 @@ def replicator_dynamics(
     The support can only shrink: a zero entry stays zero, and entries
     below :data:`PRUNE_EPS` are dropped (with renormalisation).
 
-    ``backend="sparse"`` runs the same iteration as dense-vector algebra
-    over a CSR matrix: the whole update is two sparse matrix-vector
-    products per step instead of per-vertex dict loops.
+    *backend* resolves through the engine registry; ``"sparse"`` runs
+    the same iteration as dense-vector algebra over a CSR matrix — the
+    whole update is two sparse matrix-vector products per step instead
+    of per-vertex dict loops.
     """
-    if backend == "sparse":
-        return _replicator_sparse(graph, x0, rule, tol, max_iterations)
-    if backend != "python":
-        raise ValueError(f"unknown backend {backend!r}")
+    return resolve_backend(backend).replicator(
+        graph, x0, rule=rule, tol=tol, max_iterations=max_iterations
+    )
+
+
+def _replicator_python(
+    graph: Graph,
+    x0: Dict[Vertex, float],
+    rule: ConvergenceRule,
+    tol: float,
+    max_iterations: int,
+) -> ReplicatorResult:
+    """The reference implementation behind the ``python`` backend."""
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
         raise ValueError("initial embedding has empty support")

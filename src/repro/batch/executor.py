@@ -58,8 +58,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.batch.cache import ResultCache, cache_key
 from repro.batch.plan import BatchPlan
 from repro.batch.queries import BatchQuery, assign_qids
+from repro.engine.envelope import SolveRequest, solve
+from repro.engine.prepared import PreparedGraph
 from repro.graph.graph import Graph
-from repro.graph.sparse import CSRAdjacency, scipy_available
 from repro.stream.events import EventLog
 
 __all__ = ["BatchExecutor", "BatchResult", "BatchStats", "execute_payload"]
@@ -165,98 +166,28 @@ def _subset_json(subset) -> List[str]:
     return sorted(str(v) for v in subset)
 
 
-def _embedding_json(x: Dict[Any, float]) -> Dict[str, float]:
-    return {str(u): w for u, w in sorted(x.items(), key=lambda kv: str(kv[0]))}
-
-
 def execute_payload(
     kind: str,
     params: Dict[str, Any],
     payload: Union[Graph, EventLog],
-    adjacency: Optional[CSRAdjacency] = None,
-    gd_plus: Optional[Graph] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Dict[str, Any]:
     """Run one query on its prepared input; return the JSON-ready answer.
 
     This is the *only* place query semantics live — the serial path, the
     worker processes and the benchmarks all call it, which is what makes
-    their results byte-identical.  *adjacency*/*gd_plus* optionally
-    supply the shared positive part (and its CSR) for ``dcsga`` queries.
+    their results byte-identical.  Graph queries go through the engine's
+    shared :class:`~repro.engine.envelope.SolveRequest` /
+    :class:`~repro.engine.envelope.SolveResult` envelope; *prepared*
+    optionally supplies the graph's shared
+    :class:`~repro.engine.prepared.PreparedGraph` (positive part + CSR
+    adjacencies, built once per fingerprint per process).
     """
-    if kind == "dcsad":
-        from repro.core.dcsad import dcs_greedy
-        from repro.core.topk import top_k_dcsad
-
+    if kind in ("dcsad", "dcsga"):
         assert isinstance(payload, Graph)
-        if params["k"] <= 1:
-            result = dcs_greedy(payload, backend=params["backend"])
-            return {
-                "kind": "dcsad",
-                "subset": _subset_json(result.subset),
-                "density": result.density,
-                "ratio_bound": result.ratio_bound,
-                "winner": result.winner,
-            }
-        ranked = top_k_dcsad(
-            payload,
-            params["k"],
-            strategy=params["strategy"],
-            backend=params["backend"],
-        )
-        return {
-            "kind": "dcsad",
-            "results": [
-                {
-                    "rank": item.rank,
-                    "subset": _subset_json(item.subset),
-                    "objective": item.objective,
-                }
-                for item in ranked
-            ],
-        }
-    if kind == "dcsga":
-        from repro.core.newsea import new_sea
-        from repro.core.topk import top_k_dcsga
-
-        assert isinstance(payload, Graph)
-        plus = gd_plus if gd_plus is not None else payload.positive_part()
-        if params["backend"] != "sparse":
-            adjacency = None
-        if params["k"] <= 1:
-            result = new_sea(
-                plus,
-                tol_scale=params["tol_scale"],
-                backend=params["backend"],
-                adjacency=adjacency,
-            )
-            return {
-                "kind": "dcsga",
-                "support": _subset_json(result.support),
-                "objective": result.objective,
-                "is_positive_clique": result.is_positive_clique,
-                "embedding": _embedding_json(result.x),
-                "initializations": result.initializations,
-                "expansion_errors": result.expansion_errors,
-            }
-        ranked = top_k_dcsga(
-            plus,
-            params["k"],
-            tol_scale=params["tol_scale"],
-            backend=params["backend"],
-            adjacency=adjacency,
-        )
-        return {
-            "kind": "dcsga",
-            "results": [
-                {
-                    "rank": item.rank,
-                    "support": _subset_json(item.subset),
-                    "objective": item.objective,
-                    "embedding": _embedding_json(item.embedding or {}),
-                }
-                for item in ranked
-            ],
-        }
+        if prepared is None:
+            prepared = PreparedGraph(payload)
+        return solve(SolveRequest.from_params(kind, params), prepared).payload()
     if kind == "stream":
         from repro.stream.engine import replay_events
 
@@ -274,6 +205,8 @@ def execute_payload(
         )
         return {
             "kind": "stream",
+            "measure": params["measure"],
+            "params": dict(params),
             "alerts": [
                 {
                     "step": alert.step,
@@ -301,34 +234,32 @@ def execute_payload(
 # ----------------------------------------------------------------------
 #: fingerprint -> prepared payload (Graph or EventLog), set at pool init.
 _SHARED_PAYLOADS: Dict[str, Union[Graph, EventLog]] = {}
-#: fingerprint -> (GD+, CSRAdjacency-or-None), built lazily per process.
-_SHARED_PLUS: Dict[str, Tuple[Graph, Optional[CSRAdjacency]]] = {}
+#: fingerprint -> PreparedGraph (GD+ / CSR context), built lazily per
+#: process — one preparation serves every query on the fingerprint,
+#: DCSAD and DCSGA alike.
+_SHARED_PREPARED: Dict[str, PreparedGraph] = {}
 
 
 def _worker_init(payloads: Dict[str, Union[Graph, EventLog]]) -> None:
     """Pool initializer: receive the shared prep table once per worker."""
     _SHARED_PAYLOADS.clear()
     _SHARED_PAYLOADS.update(payloads)
-    _SHARED_PLUS.clear()
+    _SHARED_PREPARED.clear()
 
 
-def _shared_plus(
-    fingerprint: str, graph: Graph, want_csr: bool
-) -> Tuple[Graph, Optional[CSRAdjacency]]:
-    """The positive part (and its CSR) for a fingerprint, built once.
+def _shared_prepared(fingerprint: str, graph: Graph) -> PreparedGraph:
+    """The :class:`PreparedGraph` of a fingerprint, created once.
 
-    The positive-part walk and the CSR freeze are the per-graph fixed
-    costs of ``dcsga`` queries; sharing them per fingerprint is the
-    "shared-CSR worker" contract.  A cached entry without CSR is
-    upgraded in place when a sparse query first needs one.
+    The positive-part walk and the CSR freezes are the per-graph fixed
+    costs of graph queries; the prepared context builds each lazily on
+    first need and shares them across every query this process serves
+    on the fingerprint — the "prepare exactly once" contract.
     """
-    plus, adjacency = _SHARED_PLUS.get(fingerprint, (None, None))
-    if plus is None:
-        plus = graph.positive_part()
-    if want_csr and adjacency is None and scipy_available():
-        adjacency = CSRAdjacency.from_graph(plus)
-    _SHARED_PLUS[fingerprint] = (plus, adjacency)
-    return plus, adjacency
+    prepared = _SHARED_PREPARED.get(fingerprint)
+    if prepared is None:
+        prepared = PreparedGraph(graph, fingerprint=fingerprint)
+        _SHARED_PREPARED[fingerprint] = prepared
+    return prepared
 
 
 class _QueryTimeout(Exception):
@@ -371,17 +302,11 @@ def _run_spec(
             use_alarm = False
     try:
         try:
-            adjacency = None
-            gd_plus = None
-            if spec.kind == "dcsga" and isinstance(payload, Graph):
-                gd_plus, adjacency = _shared_plus(
-                    spec.fingerprint,
-                    payload,
-                    want_csr=spec.params["backend"] == "sparse",
-                )
+            prepared = None
+            if isinstance(payload, Graph):
+                prepared = _shared_prepared(spec.fingerprint, payload)
             answer = execute_payload(
-                spec.kind, spec.params, payload,
-                adjacency=adjacency, gd_plus=gd_plus,
+                spec.kind, spec.params, payload, prepared=prepared
             )
         finally:
             if use_alarm:

@@ -16,9 +16,15 @@ isolated vertices — the format of :mod:`repro.graph.io`).  Shared flags:
 * ``--discrete``   apply the paper's DBLP Discrete quantisation,
 * ``--cap C``      clamp difference weights into ``[-C, C]``.
 
-The mining commands also take ``--backend {python,sparse}``: ``python``
-is the pure-Python reference implementation, ``sparse`` the vectorised
-CSR/NumPy backend (same results, much faster on large graphs).
+The mining commands also take ``--backend NAME``, resolved through the
+engine registry (:mod:`repro.engine`): ``python`` is the pure-Python
+reference implementation, ``sparse`` the vectorised CSR/NumPy backend
+(same results, much faster on large graphs), and any backend
+registered via :func:`repro.engine.register_backend` works by name.
+``--json`` prints the full typed result envelope
+(:class:`repro.engine.SolveResult`: measure, params, vertices,
+density, the Theorem 2 beta certificate, KKT status, timings,
+provenance) instead of the human-readable summary.
 
 ``repro batch`` serves many typed queries in one submission: a JSON
 array (or JSONL) of query objects — each naming a ``kind`` (``dcsad`` /
@@ -40,14 +46,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_embedding, format_ratio
 from repro.analysis.stats import NamedDifferenceGraph, dataset_stats_table
-from repro.core.dcsad import dcs_greedy
 from repro.core.difference import assemble_difference
-from repro.core.newsea import new_sea
-from repro.core.topk import top_k_dcsad, top_k_dcsga
+from repro.engine.envelope import SolveRequest, SolveResult, solve
+from repro.engine.prepared import PreparedGraph
 from repro.graph.graph import Graph
 from repro.graph.io import read_pair
 
@@ -92,10 +97,19 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_backend(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--backend",
-            choices=("python", "sparse"),
             default="python",
-            help="solver backend: pure-Python reference or vectorised "
-            "CSR/NumPy (default: python)",
+            help="solver backend name from the engine registry: 'python' "
+            "(pure-Python reference), 'sparse' (vectorised CSR/NumPy), "
+            "or any backend registered via "
+            "repro.engine.register_backend (default: python)",
+        )
+
+    def add_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the full typed result envelope (answer + "
+            "timings + provenance) as one JSON object",
         )
 
     dcsad = sub.add_parser(
@@ -103,6 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_common(dcsad)
     add_backend(dcsad)
+    add_json(dcsad)
     dcsad.add_argument(
         "--top-k", type=int, default=1, help="mine k disjoint answers"
     )
@@ -112,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_common(dcsga)
     add_backend(dcsga)
+    add_json(dcsga)
     dcsga.add_argument(
         "--top-k", type=int, default=1, help="mine k disjoint answers"
     )
@@ -235,39 +251,69 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _solve_envelope(args: argparse.Namespace, measure: str) -> SolveResult:
+    """One engine round-trip shared by the two mining commands."""
+    from repro.exceptions import (
+        BackendUnavailableError,
+        UnknownBackendError,
+    )
+
+    prepared = PreparedGraph(_load_difference(args))
+    if args.json:
+        # The envelope's provenance carries the input identity when it
+        # is already known; for JSON consumers it is worth computing.
+        prepared.fingerprint
+    request = SolveRequest(
+        measure=measure,
+        backend=args.backend,
+        k=args.top_k,
+        # The KKT verification pass is extra work whose result only the
+        # JSON envelope surfaces; the human summary reads the
+        # positive-clique flag the solver computed anyway.
+        check_kkt=args.json,
+    )
+    try:
+        return solve(request, prepared)
+    except (UnknownBackendError, BackendUnavailableError) as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_dcsad(args: argparse.Namespace) -> int:
-    gd = _load_difference(args)
-    if args.top_k <= 1:
-        result = dcs_greedy(gd, backend=args.backend)
-        print(f"subset ({len(result.subset)} vertices):")
-        print("  " + " ".join(sorted(map(str, result.subset))))
-        print(f"average degree contrast: {result.density:.6g}")
-        print(f"approximation ratio bound: {format_ratio(result.ratio_bound)}")
+    result = _solve_envelope(args, "average_degree")
+    if args.json:
+        print(result.to_json())
         return 0
-    for item in top_k_dcsad(gd, args.top_k, backend=args.backend):
-        members = " ".join(sorted(map(str, item.subset)))
+    if args.top_k <= 1:
+        print(f"subset ({len(result.subset)} vertices):")
+        print("  " + " ".join(result.vertices))
+        print(f"average degree contrast: {result.density:.6g}")
+        print(f"approximation ratio bound: {format_ratio(result.beta)}")
+        return 0
+    for item in result.detail["results"]:
+        members = " ".join(item["vertices"])
         print(
-            f"#{item.rank + 1}: contrast {item.objective:.6g} "
-            f"({len(item.subset)} vertices): {members}"
+            f"#{item['rank'] + 1}: contrast {item['density']:.6g} "
+            f"({len(item['vertices'])} vertices): {members}"
         )
     return 0
 
 
 def _cmd_dcsga(args: argparse.Namespace) -> int:
-    gd = _load_difference(args)
-    gd_plus = gd.positive_part()
-    if args.top_k <= 1:
-        result = new_sea(gd_plus, backend=args.backend)
-        print(f"support ({len(result.support)} vertices):")
-        print("  " + format_embedding(result.x.items()))
-        print(f"affinity contrast: {result.objective:.6g}")
-        print(f"positive clique: {result.is_positive_clique}")
+    result = _solve_envelope(args, "affinity")
+    if args.json:
+        print(result.to_json())
         return 0
-    for item in top_k_dcsga(gd_plus, args.top_k, backend=args.backend):
-        assert item.embedding is not None
+    if args.top_k <= 1:
+        assert result.embedding is not None
+        print(f"support ({len(result.subset)} vertices):")
+        print("  " + format_embedding(result.embedding.items()))
+        print(f"affinity contrast: {result.density:.6g}")
+        print(f"positive clique: {result.detail['is_positive_clique']}")
+        return 0
+    for item in result.detail["results"]:
         print(
-            f"#{item.rank + 1}: affinity {item.objective:.6g}: "
-            + format_embedding(item.embedding.items())
+            f"#{item['rank'] + 1}: affinity {item['density']:.6g}: "
+            + format_embedding(item["embedding"].items())
         )
     return 0
 

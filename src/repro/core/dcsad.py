@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
+from repro.engine.registry import resolve_backend
 from repro.graph.components import densest_component, is_connected
 from repro.graph.graph import Graph, Vertex
 from repro.peeling.greedy import Backend, greedy_peel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.engine.prepared import PreparedGraph
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,7 @@ def dcs_greedy(
     gd: Graph,
     backend: Backend = "heap",
     seed: Optional[int] = None,
+    prepared: Optional["PreparedGraph"] = None,
 ) -> DCSADResult:
     """Algorithm 2 on a prebuilt difference graph ``GD``.
 
@@ -77,10 +82,19 @@ def dcs_greedy(
     matters in the degenerate no-positive-edge case where the paper picks
     a random vertex.  *backend* selects the peeling priority structure:
     ``"heap"`` / ``"segment_tree"`` (pure Python) or ``"sparse"`` (the
-    vectorised CSR backend of :mod:`repro.peeling.greedy`).
+    vectorised CSR backend of :mod:`repro.peeling.greedy`), resolved
+    through the engine registry.
+
+    *prepared* shares this graph's
+    :class:`~repro.engine.prepared.PreparedGraph` context: the ``GD+``
+    build (and, on CSR-capable backends, both frozen adjacencies) are
+    reused instead of rebuilt — a paired DCSAD+DCSGA workload on one
+    difference graph prepares exactly once.
     """
     if gd.num_vertices == 0:
         raise ValueError("difference graph has no vertices")
+    if prepared is not None:
+        prepared.check_owns(gd)
 
     heaviest = gd.max_weight_edge()
     if heaviest is None or heaviest[2] <= 0:
@@ -100,11 +114,30 @@ def dcs_greedy(
     u, v, _ = heaviest
     candidates: Dict[str, Set[Vertex]] = {"max_edge": {u, v}}
 
-    peel_gd = greedy_peel(gd, backend=backend)
+    shares_csr = (
+        prepared is not None
+        and resolve_backend(backend).supports_shared_adjacency
+    )
+    # csr_of() follows whichever graph the caller passed: dcs_greedy is
+    # legitimately invoked on prepared.gd (the usual case) or on
+    # prepared.gd_plus itself, and each peel must pair with its own
+    # frozen adjacency.
+    peel_gd = greedy_peel(
+        gd,
+        backend=backend,
+        adjacency=prepared.csr_of(gd) if shares_csr else None,
+    )
     candidates["greedy_gd"] = peel_gd.subset
 
-    gd_plus = gd.positive_part()
-    peel_plus = greedy_peel(gd_plus, backend=backend)
+    # When the caller passed GD+ itself, prepared.gd_plus IS gd — the
+    # positive part of an all-positive graph — so this stays coherent
+    # for both sanctioned pairings.
+    gd_plus = prepared.gd_plus if prepared is not None else gd.positive_part()
+    peel_plus = greedy_peel(
+        gd_plus,
+        backend=backend,
+        adjacency=prepared.csr_of(gd_plus) if shares_csr else None,
+    )
     candidates["greedy_gd_plus"] = peel_plus.subset
 
     densities = {name: _density(gd, subset) for name, subset in candidates.items()}

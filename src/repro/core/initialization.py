@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro.engine.registry import BackendLike, resolve_backend
 from repro.graph.cores import core_numbers
 from repro.graph.graph import Graph, Vertex
 
@@ -76,7 +77,7 @@ def clique_affinity_upper_bound(tau: int, w: float) -> float:
 
 def smart_initialization_plan(
     gd_plus: Graph,
-    backend: str = "python",
+    backend: BackendLike = "python",
     adjacency: Optional["CSRAdjacency"] = None,
 ) -> InitializationPlan:
     """Compute ``mu_u`` for every vertex and the descending trial order.
@@ -88,14 +89,16 @@ def smart_initialization_plan(
     trial order are all evaluated in one vectorised pass over the CSR
     arrays (``mu`` values are bitwise identical to the python backend:
     only max/division arithmetic is involved, no reordered sums).  Pass a
-    prebuilt *adjacency* to skip the CSR construction.
+    prebuilt *adjacency* to skip the CSR construction (CSR-capable
+    backends only — the registry enforces that centrally).
     """
-    if backend == "sparse":
-        return _smart_initialization_plan_sparse(gd_plus, adjacency)
-    if backend != "python":
-        raise ValueError(f"unknown backend {backend!r}")
-    if adjacency is not None:
-        raise ValueError("adjacency is only meaningful with backend='sparse'")
+    return resolve_backend(backend).initialization_plan(
+        gd_plus, adjacency=adjacency
+    )
+
+
+def _smart_initialization_plan_python(gd_plus: Graph) -> InitializationPlan:
+    """The reference implementation behind the ``python`` backend."""
     weights = ego_max_weights(gd_plus)
     cores = core_numbers(gd_plus)
     mu: Dict[Vertex, float] = {

@@ -18,35 +18,40 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, List, Literal, Optional, Set
 
-from repro.core.dcsad import dcs_greedy
 from repro.core.difference import difference_graph
-from repro.core.newsea import new_sea
+from repro.engine.envelope import SolveRequest, solve
+from repro.engine.prepared import PreparedGraph
+from repro.engine.registry import Backend, get_backend, resolve_backend
 from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph, Vertex
 
 Measure = Literal["average_degree", "affinity"]
 
 
-def mean_graph(graphs: Iterable[Graph], backend: str = "python") -> Graph:
+def mean_graph(graphs: Iterable[Graph], backend: Backend = "python") -> Graph:
     """Edge-wise mean of several graphs over the union vertex set.
 
     The natural "expectation" graph of a history window: an edge's weight
     is its average weight across the window (absent = 0).
 
-    ``backend="sparse"`` accumulates the window through one shared
-    vertex-index map and a SciPy COO sum — the per-edge additions run at
-    C speed, which matters when the window is wide and the snapshots are
-    large.  Both backends sum each edge's weights in the same (window)
-    order, so results differ by at most float summation noise on the
-    final division.
+    *backend* resolves through the engine registry — an unregistered
+    name raises the standard
+    :class:`~repro.exceptions.UnknownBackendError`.  ``"sparse"``
+    accumulates the window through one shared vertex-index map and a
+    SciPy COO sum — the per-edge additions run at C speed, which
+    matters when the window is wide and the snapshots are large.  Both
+    backends sum each edge's weights in the same (window) order, so
+    results differ by at most float summation noise on the final
+    division.
     """
     items = list(graphs)
     if not items:
         raise ValueError("cannot average zero graphs")
-    if backend == "sparse":
-        return _mean_graph_sparse(items)
-    if backend != "python":
-        raise ValueError(f"unknown backend {backend!r}")
+    return resolve_backend(backend).mean_graph(items)
+
+
+def _mean_graph_python(items: List[Graph]) -> Graph:
+    """The reference implementation behind the ``python`` backend."""
     result = Graph()
     for graph in items:
         result.add_vertices(graph.vertices())
@@ -132,9 +137,11 @@ class ContrastMonitor:
         Steps to observe before emitting alerts (at least 1 so an
         expectation exists; defaults to the window size).
     backend:
-        ``"python"`` (pure-Python reference) or ``"sparse"`` (the
-        vectorised CSR/NumPy backend) — applied to the window mean and
-        to whichever solver *measure* selects.
+        A registered engine backend name (``"python"`` is the reference,
+        ``"sparse"`` the vectorised CSR/NumPy backend) — applied to the
+        window mean and to whichever solver *measure* selects; an
+        unregistered name raises
+        :class:`~repro.exceptions.UnknownBackendError`.
     """
 
     def __init__(
@@ -142,18 +149,22 @@ class ContrastMonitor:
         window: int = 5,
         measure: Measure = "average_degree",
         warmup: Optional[int] = None,
-        backend: str = "python",
+        backend: Backend = "python",
     ) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
         if measure not in ("average_degree", "affinity"):
             raise ValueError(f"unknown measure {measure!r}")
-        if backend not in ("python", "sparse"):
-            raise ValueError(f"unknown backend {backend!r}")
+        # Unknown/unavailable names and solver-incapable backends all
+        # fail here, at construction — never steps into a stream.
+        get_backend(backend).require_capabilities(
+            "mean_graph",
+            "peel" if measure == "average_degree" else "new_sea",
+        )
         self.window = window
         self.measure: Measure = measure
         self.warmup = window if warmup is None else max(1, warmup)
-        self.backend = backend
+        self.backend: Backend = backend
         self._history: Deque[Graph] = deque(maxlen=window)
         self._step = 0
         self._vertices: Optional[Set[Vertex]] = None
@@ -180,22 +191,24 @@ class ContrastMonitor:
         if len(self._history) >= 1 and self._step >= self.warmup:
             expected = mean_graph(self._history, backend=self.backend)
             gd = difference_graph(expected, snapshot)
-            if self.measure == "average_degree":
-                result = dcs_greedy(gd, backend=self.backend)
-                alert = ContrastAlert(
-                    step=self._step,
-                    subset=set(result.subset),
-                    score=result.density,
+            # One prepared context + the shared result envelope: the
+            # monitor consumes the same engine seam as the CLI, batch
+            # and streaming layers (KKT reporting skipped — this is a
+            # per-step hot path).
+            result = solve(
+                SolveRequest(
                     measure=self.measure,
-                )
-            else:
-                result = new_sea(gd.positive_part(), backend=self.backend)
-                alert = ContrastAlert(
-                    step=self._step,
-                    subset=set(result.support),
-                    score=result.objective,
-                    measure=self.measure,
-                )
+                    backend=self.backend,
+                    check_kkt=False,
+                ),
+                PreparedGraph(gd),
+            )
+            alert = ContrastAlert(
+                step=self._step,
+                subset=set(result.subset),
+                score=result.density,
+                measure=self.measure,
+            )
         self._history.append(snapshot)
         self._step += 1
         return alert

@@ -15,12 +15,13 @@ per-vertex solver so the original-SEA baseline
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.initialization import InitializationPlan, smart_initialization_plan
 from repro.core.refinement import refine
 from repro.core.seacd import seacd
+from repro.engine.registry import BackendLike, resolve_backend
 from repro.graph.cliques import is_clique, remove_subsumed_cliques
 from repro.graph.graph import Graph, Vertex
 
@@ -79,7 +80,7 @@ def new_sea(
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
     plan: Optional[InitializationPlan] = None,
-    backend: str = "python",
+    backend: BackendLike = "python",
     adjacency=None,
 ) -> DCSGAResult:
     """Algorithm 5 on the positive part ``GD+`` of a difference graph.
@@ -89,15 +90,17 @@ def new_sea(
     negative edges because the Refinement step always lands on a positive
     clique, on which ``f_{D+} = f_D``.
 
-    *backend* selects the solver implementation: ``"python"`` is the
-    dict-of-dicts reference, ``"sparse"`` the vectorised CSR pipeline
-    (:func:`repro.core.sparse_solvers.new_sea_csr`) — same algorithm and
-    convergence rules, one CSR build shared across all initialisations,
-    and the ``mu_u`` bounds evaluated in a single vectorised pass.
-    *adjacency* (sparse backend only) supplies a prebuilt
+    *backend* is resolved through the engine registry: ``"python"`` is
+    the dict-of-dicts reference, ``"sparse"`` the vectorised CSR
+    pipeline (:func:`repro.core.sparse_solvers.new_sea_csr`) — same
+    algorithm and convergence rules, one CSR build shared across all
+    initialisations, and the ``mu_u`` bounds evaluated in a single
+    vectorised pass.  *adjacency* (CSR-capable backends only — the
+    registry validates centrally) supplies a prebuilt
     :class:`~repro.graph.sparse.CSRAdjacency` of ``gd_plus`` so callers
-    running many queries on one graph — the batch layer — skip even
-    that single CSR build.
+    running many queries on one graph — the batch layer, through
+    :class:`~repro.engine.prepared.PreparedGraph` — skip even that
+    single CSR build.
     """
     if gd_plus.num_vertices == 0:
         raise ValueError("graph has no vertices")
@@ -107,22 +110,24 @@ def new_sea(
                 "new_sea expects GD+ (positive weights only); "
                 "call positive_part() first"
             )
+    solver_backend = resolve_backend(backend)
+    solver_backend.check_adjacency(adjacency)
+    return solver_backend.new_sea(
+        gd_plus,
+        tol_scale=tol_scale,
+        max_expansions=max_expansions,
+        plan=plan,
+        adjacency=adjacency,
+    )
 
-    if backend == "sparse":
-        from repro.core.sparse_solvers import new_sea_csr
 
-        return new_sea_csr(
-            gd_plus,
-            tol_scale=tol_scale,
-            max_expansions=max_expansions,
-            plan=plan,
-            adjacency=adjacency,
-        )
-    if backend != "python":
-        raise ValueError(f"unknown backend {backend!r}")
-    if adjacency is not None:
-        raise ValueError("adjacency is only meaningful with backend='sparse'")
-
+def _new_sea_python(
+    gd_plus: Graph,
+    tol_scale: float = 1e-2,
+    max_expansions: int = 10_000,
+    plan: Optional[InitializationPlan] = None,
+) -> DCSGAResult:
+    """The reference implementation behind the ``python`` backend."""
     if plan is None:
         plan = smart_initialization_plan(gd_plus)
     solver = _default_solver(tol_scale, max_expansions)
@@ -167,36 +172,30 @@ def solve_all_initializations(
     max_expansions: int = 10_000,
     vertices: Optional[Sequence[Vertex]] = None,
     drop_subsumed: bool = True,
-    backend: str = "python",
+    backend: BackendLike = "python",
     adjacency=None,
 ) -> AllInitsResult:
     """Initialise from every vertex; collect all deduplicated solutions.
 
     This is *SEACD+Refine* when *solver* is None, and *SEA+Refine* when
     the caller passes :func:`repro.affinity.sea.sea_refine_solver`.
-    With ``backend="sparse"`` (and no explicit *solver*) the default
-    SEACD+Refine solver runs on the vectorised CSR kernels, building the
-    CSR adjacency once for all initialisations.
+    With no explicit *solver* the per-vertex SEACD+Refine closure comes
+    from the registry backend (``"sparse"`` runs the vectorised CSR
+    kernels, building the CSR adjacency once for all initialisations).
 
     The returned ``solutions`` follow the paper's Table V / Fig. 3
     post-processing: duplicates removed and (optionally) supports that
     are subsets of other found supports dropped.
     """
     if solver is None:
-        if backend == "sparse":
-            from repro.core.sparse_solvers import csr_vertex_solver
-
-            solver = csr_vertex_solver(
-                gd_plus, tol_scale, max_expansions, adjacency=adjacency
-            )
-        elif backend == "python":
-            if adjacency is not None:
-                raise ValueError(
-                    "adjacency is only meaningful with backend='sparse'"
-                )
-            solver = _default_solver(tol_scale, max_expansions)
-        else:
-            raise ValueError(f"unknown backend {backend!r}")
+        solver_backend = resolve_backend(backend)
+        solver_backend.check_adjacency(adjacency)
+        solver = solver_backend.vertex_solver(
+            gd_plus,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            adjacency=adjacency,
+        )
     elif adjacency is not None:
         raise ValueError(
             "adjacency is unused when a custom solver is supplied"

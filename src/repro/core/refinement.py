@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.coordinate_descent import coordinate_descent
+from repro.engine.registry import BackendLike, resolve_backend
 from repro.graph.cliques import is_clique
 from repro.graph.graph import Graph, Vertex
 
@@ -69,7 +70,7 @@ def refine(
     x0: Dict[Vertex, float],
     tol_scale: float = 1e-2,
     max_cd_iterations: int = 100_000,
-    backend: str = "python",
+    backend: BackendLike = "python",
 ) -> RefinementResult:
     """Run Algorithm 4 on *graph* (``GD+``) from the KKT point *x0*.
 
@@ -79,26 +80,24 @@ def refine(
     iterate is only an approximate KKT point, so keeping the better
     endpoint is the numerically safer choice).
 
-    ``backend="sparse"`` dispatches to the vectorised CSR implementation
-    (:func:`repro.core.sparse_solvers.refine_csr`).
+    *backend* is resolved through the engine registry (``"sparse"``
+    runs the vectorised :func:`repro.core.sparse_solvers.refine_csr`).
     """
-    if backend == "sparse":
-        from repro.core.sparse_solvers import refine_csr
+    return resolve_backend(backend).refine(
+        graph,
+        x0,
+        tol_scale=tol_scale,
+        max_cd_iterations=max_cd_iterations,
+    )
 
-        x, objective, merges, initial = refine_csr(
-            graph,
-            x0,
-            tol_scale=tol_scale,
-            max_cd_iterations=max_cd_iterations,
-        )
-        return RefinementResult(
-            x=x,
-            objective=objective,
-            merges=merges,
-            initial_objective=initial,
-        )
-    if backend != "python":
-        raise ValueError(f"unknown backend {backend!r}")
+
+def _refine_python(
+    graph: Graph,
+    x0: Dict[Vertex, float],
+    tol_scale: float = 1e-2,
+    max_cd_iterations: int = 100_000,
+) -> RefinementResult:
+    """The reference implementation behind the ``python`` backend."""
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
         raise ValueError("cannot refine an empty embedding")

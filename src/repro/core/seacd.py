@@ -20,10 +20,11 @@ asserted by the test suite — unlike the loose-condition SEA baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.coordinate_descent import coordinate_descent
 from repro.core.expansion import expansion_step
+from repro.engine.registry import BackendLike, resolve_backend
 from repro.graph.graph import Graph, Vertex
 
 
@@ -54,7 +55,7 @@ def seacd(
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
     max_cd_iterations: int = 100_000,
-    backend: str = "python",
+    backend: BackendLike = "python",
 ) -> SEACDResult:
     """Run Algorithm 3 from the initial embedding *x0*.
 
@@ -73,22 +74,28 @@ def seacd(
     max_expansions / max_cd_iterations:
         Safety caps; hitting one returns ``converged=False``.
     backend:
-        ``"python"`` (reference dict-of-dicts implementation) or
-        ``"sparse"`` (vectorised CSR kernels,
-        :func:`repro.core.sparse_solvers.seacd_csr`).
+        A registered backend name (``"python"`` is the reference
+        dict-of-dicts implementation, ``"sparse"`` the vectorised CSR
+        kernels) or a :class:`~repro.engine.registry.SolverBackend`
+        instance; dispatched through the engine registry.
     """
-    if backend == "sparse":
-        from repro.core.sparse_solvers import seacd_csr
+    return resolve_backend(backend).seacd(
+        graph,
+        x0,
+        tol_scale=tol_scale,
+        max_expansions=max_expansions,
+        max_cd_iterations=max_cd_iterations,
+    )
 
-        return seacd_csr(
-            graph,
-            x0,
-            tol_scale=tol_scale,
-            max_expansions=max_expansions,
-            max_cd_iterations=max_cd_iterations,
-        )
-    if backend != "python":
-        raise ValueError(f"unknown backend {backend!r}")
+
+def _seacd_python(
+    graph: Graph,
+    x0: Dict[Vertex, float],
+    tol_scale: float = 1e-2,
+    max_expansions: int = 10_000,
+    max_cd_iterations: int = 100_000,
+) -> SEACDResult:
+    """The reference implementation behind the ``python`` backend."""
     stats = SEACDStats()
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
@@ -134,7 +141,7 @@ def seacd_from_vertex(
     vertex: Vertex,
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
-    backend: str = "python",
+    backend: BackendLike = "python",
 ) -> SEACDResult:
     """Convenience: SEACD initialised at the indicator ``e_vertex``."""
     if not graph.has_vertex(vertex):

@@ -25,6 +25,7 @@ from typing import Dict, List, Literal, Optional, Set, Tuple
 
 from repro.core.dcsad import DCSADResult, dcs_greedy
 from repro.core.newsea import solve_all_initializations
+from repro.engine.registry import BackendLike, PeelBackend
 from repro.graph.graph import Graph, Vertex
 
 RemovalStrategy = Literal["vertices", "edges"]
@@ -45,7 +46,7 @@ def top_k_dcsga(
     k: int,
     diversify: bool = True,
     tol_scale: float = 1e-2,
-    backend: str = "python",
+    backend: BackendLike = "python",
     adjacency=None,
 ) -> List[RankedDCS]:
     """Top-k positive-clique solutions by graph affinity.
@@ -57,7 +58,9 @@ def top_k_dcsga(
     ``backend="sparse"`` runs every initialisation on the vectorised CSR
     solver over one shared adjacency; *adjacency* supplies that
     :class:`~repro.graph.sparse.CSRAdjacency` prebuilt (the batch layer
-    shares one per graph fingerprint across queries).
+    shares one per graph fingerprint through
+    :class:`~repro.engine.prepared.PreparedGraph`; the registry
+    validates it centrally against non-CSR backends).
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -117,7 +120,7 @@ def top_k_dcsad(
     k: int,
     strategy: RemovalStrategy = "vertices",
     min_objective: float = 0.0,
-    backend: str = "heap",
+    backend: PeelBackend = "heap",
 ) -> List[RankedDCS]:
     """Top-k average-degree contrast subgraphs by iterated DCSGreedy.
 

@@ -13,7 +13,6 @@ dataset should call the underlying builders directly.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.stats import NamedDifferenceGraph

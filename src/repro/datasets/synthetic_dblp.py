@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Graph
 
 
 @dataclass

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Set, Tuple
 
 from repro.graph.generators import gnp_graph
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Graph
 
 
 @dataclass

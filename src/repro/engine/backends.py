@@ -1,0 +1,361 @@
+"""The built-in :class:`~repro.engine.registry.SolverBackend` instances.
+
+Importing this module registers them:
+
+========== ============== =================================================
+name       aliases        implementation
+========== ============== =================================================
+python     heap           the dict-of-dicts reference kernels (ground
+                          truth in the test suite; stdlib-only)
+segment_tree               Algorithm 1 peeling over a min segment tree —
+                          peel capability only
+sparse                    the vectorised CSR/NumPy kernels of
+                          :mod:`repro.core.sparse_solvers`; available
+                          only when SciPy imports
+========== ============== =================================================
+
+Every method body is a lazy import of the kernel it wraps — the
+registry stays import-light and free of cycles (the core modules import
+the registry to dispatch, the backends import the core modules to
+implement).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.engine.registry import SolverBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.affinity.replicator import ReplicatorResult
+    from repro.core.coordinate_descent import CDResult
+    from repro.core.expansion import ExpansionStep
+    from repro.core.initialization import InitializationPlan
+    from repro.core.newsea import DCSGAResult, VertexSolver
+    from repro.core.refinement import RefinementResult
+    from repro.core.seacd import SEACDResult
+    from repro.graph.graph import Graph, Vertex
+    from repro.graph.sparse import CSRAdjacency
+    from repro.peeling.greedy import PeelResult
+
+
+class PythonBackend(SolverBackend):
+    """The pure-Python reference implementation of every capability."""
+
+    name = "python"
+
+    def peel(
+        self,
+        graph: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "PeelResult":
+        from repro.peeling.greedy import _peel_heap
+
+        self.check_adjacency(adjacency)
+        return _peel_heap(graph)
+
+    def shrink(
+        self,
+        graph: "Graph",
+        x: Dict["Vertex", float],
+        subset: Iterable["Vertex"],
+        tol: float,
+        max_iterations: int = 100_000,
+    ) -> "CDResult":
+        from repro.core.coordinate_descent import coordinate_descent
+
+        return coordinate_descent(
+            graph, x, subset=subset, tol=tol, max_iterations=max_iterations
+        )
+
+    def expand(
+        self,
+        graph: "Graph",
+        x: Dict["Vertex", float],
+        objective: Optional[float] = None,
+    ) -> "ExpansionStep":
+        from repro.core.expansion import expansion_step
+
+        return expansion_step(graph, x, objective=objective)
+
+    def seacd(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        max_cd_iterations: int = 100_000,
+    ) -> "SEACDResult":
+        from repro.core.seacd import _seacd_python
+
+        return _seacd_python(
+            graph,
+            x0,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            max_cd_iterations=max_cd_iterations,
+        )
+
+    def refine(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        tol_scale: float = 1e-2,
+        max_cd_iterations: int = 100_000,
+    ) -> "RefinementResult":
+        from repro.core.refinement import _refine_python
+
+        return _refine_python(
+            graph,
+            x0,
+            tol_scale=tol_scale,
+            max_cd_iterations=max_cd_iterations,
+        )
+
+    def new_sea(
+        self,
+        gd_plus: "Graph",
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        plan: Optional["InitializationPlan"] = None,
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "DCSGAResult":
+        from repro.core.newsea import _new_sea_python
+
+        self.check_adjacency(adjacency)
+        return _new_sea_python(
+            gd_plus,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            plan=plan,
+        )
+
+    def vertex_solver(
+        self,
+        gd_plus: "Graph",
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "VertexSolver":
+        from repro.core.newsea import _default_solver
+
+        self.check_adjacency(adjacency)
+        return _default_solver(tol_scale, max_expansions)
+
+    def initialization_plan(
+        self,
+        gd_plus: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "InitializationPlan":
+        from repro.core.initialization import _smart_initialization_plan_python
+
+        self.check_adjacency(adjacency)
+        return _smart_initialization_plan_python(gd_plus)
+
+    def replicator(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        rule: str = "objective",
+        tol: float = 1e-6,
+        max_iterations: int = 100_000,
+    ) -> "ReplicatorResult":
+        from repro.affinity.replicator import _replicator_python
+
+        return _replicator_python(graph, x0, rule, tol, max_iterations)
+
+    def mean_graph(self, graphs: List["Graph"]) -> "Graph":
+        from repro.core.monitor import _mean_graph_python
+
+        return _mean_graph_python(graphs)
+
+
+class SegmentTreeBackend(SolverBackend):
+    """Algorithm 1 over a min segment tree — a peel-only backend.
+
+    Exists to keep the paper's suggested priority structure benchmarkable
+    (`bench_ablation_peeling_backend.py`); asking it for any other
+    capability raises :class:`~repro.exceptions.BackendCapabilityError`.
+    """
+
+    name = "segment_tree"
+
+    def peel(
+        self,
+        graph: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "PeelResult":
+        from repro.peeling.greedy import _peel_segment_tree
+
+        self.check_adjacency(adjacency)
+        return _peel_segment_tree(graph)
+
+
+class SparseBackend(SolverBackend):
+    """The vectorised CSR/NumPy kernel set; requires SciPy.
+
+    Capabilities accept a prebuilt
+    :class:`~repro.graph.sparse.CSRAdjacency` (``adjacency=``) so
+    callers running many solves on one graph — the batch layer through
+    :class:`~repro.engine.prepared.PreparedGraph` — freeze it once.
+    """
+
+    name = "sparse"
+    supports_shared_adjacency = True
+
+    def available(self) -> bool:
+        from repro.graph.sparse import scipy_available
+
+        return scipy_available()
+
+    def missing_reason(self) -> str:
+        return (
+            "backend='sparse' requires SciPy, which is not installed; "
+            "use the pure-Python backend instead"
+        )
+
+    def peel(
+        self,
+        graph: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "PeelResult":
+        from repro.peeling.greedy import _peel_sparse
+
+        return _peel_sparse(graph, adjacency=adjacency)
+
+    def shrink(
+        self,
+        graph: "Graph",
+        x: Dict["Vertex", float],
+        subset: Iterable["Vertex"],
+        tol: float,
+        max_iterations: int = 100_000,
+    ) -> "CDResult":
+        import numpy as np
+
+        from repro.core.coordinate_descent import CDResult
+        from repro.core.sparse_solvers import coordinate_descent_csr
+        from repro.graph.sparse import CSRAdjacency
+
+        adj = CSRAdjacency.from_graph(graph)
+        vector = adj.embedding_vector(x)
+        members = np.fromiter(
+            sorted(adj.index[v] for v in subset), dtype=np.int64
+        )
+        vector, _, objective, iterations, converged = coordinate_descent_csr(
+            adj, vector, members, tol, max_iterations, need_dx=False
+        )
+        return CDResult(
+            x=adj.embedding_dict(vector),
+            objective=objective,
+            iterations=iterations,
+            converged=converged,
+        )
+
+    def seacd(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        max_cd_iterations: int = 100_000,
+    ) -> "SEACDResult":
+        from repro.core.sparse_solvers import seacd_csr
+
+        return seacd_csr(
+            graph,
+            x0,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            max_cd_iterations=max_cd_iterations,
+        )
+
+    def refine(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        tol_scale: float = 1e-2,
+        max_cd_iterations: int = 100_000,
+    ) -> "RefinementResult":
+        from repro.core.refinement import RefinementResult
+        from repro.core.sparse_solvers import refine_csr
+
+        x, objective, merges, initial = refine_csr(
+            graph,
+            x0,
+            tol_scale=tol_scale,
+            max_cd_iterations=max_cd_iterations,
+        )
+        return RefinementResult(
+            x=x,
+            objective=objective,
+            merges=merges,
+            initial_objective=initial,
+        )
+
+    def new_sea(
+        self,
+        gd_plus: "Graph",
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        plan: Optional["InitializationPlan"] = None,
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "DCSGAResult":
+        from repro.core.sparse_solvers import new_sea_csr
+
+        return new_sea_csr(
+            gd_plus,
+            tol_scale=tol_scale,
+            max_expansions=max_expansions,
+            plan=plan,
+            adjacency=adjacency,
+        )
+
+    def vertex_solver(
+        self,
+        gd_plus: "Graph",
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "VertexSolver":
+        from repro.core.sparse_solvers import csr_vertex_solver
+
+        return csr_vertex_solver(
+            gd_plus, tol_scale, max_expansions, adjacency=adjacency
+        )
+
+    def initialization_plan(
+        self,
+        gd_plus: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "InitializationPlan":
+        from repro.core.initialization import _smart_initialization_plan_sparse
+
+        return _smart_initialization_plan_sparse(gd_plus, adjacency)
+
+    def replicator(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        rule: str = "objective",
+        tol: float = 1e-6,
+        max_iterations: int = 100_000,
+    ) -> "ReplicatorResult":
+        from repro.affinity.replicator import _replicator_sparse
+
+        return _replicator_sparse(graph, x0, rule, tol, max_iterations)
+
+    def mean_graph(self, graphs: List["Graph"]) -> "Graph":
+        from repro.core.monitor import _mean_graph_sparse
+
+        return _mean_graph_sparse(graphs)
+
+
+#: The instances the package registers on import.
+PYTHON = PythonBackend()
+SEGMENT_TREE = SegmentTreeBackend()
+SPARSE = SparseBackend()
+
+register_backend(PYTHON, aliases=("heap",))
+register_backend(SEGMENT_TREE)
+register_backend(SPARSE)

@@ -1,0 +1,326 @@
+"""The pluggable backend registry — one dispatch seam for every solver.
+
+Before this module existed, every solver entry point carried its own
+``if backend == "sparse": ...`` ladder, and adding a backend (a
+numba/JIT kernel set, a sharded remote executor, an instrumented test
+double) meant editing ten call sites.  Now a backend is an object:
+
+* subclass :class:`SolverBackend` and override the capabilities you
+  provide (``peel``, ``shrink``/``expand`` — the coordinate-descent
+  stages — ``seacd``, ``refine``, ``new_sea``, ``vertex_solver``,
+  ``initialization_plan``, ``replicator``, ``mean_graph``);
+* call :func:`register_backend` with a name (and optional aliases);
+* every layer — core solvers, CLI, batch service, streaming engine —
+  immediately accepts the new name.
+
+Lookups are dict reads, not string ladders.  Error taxonomy:
+
+* an unregistered name raises
+  :class:`~repro.exceptions.UnknownBackendError` (a ``ValueError``);
+* a registered backend whose dependency is missing (``"sparse"``
+  without SciPy) raises
+  :class:`~repro.exceptions.BackendUnavailableError` at lookup time —
+  or, with :func:`resolve_backend`'s *fallback*, degrades gracefully to
+  the named substitute;
+* a backend that lacks the requested capability raises
+  :class:`~repro.exceptions.BackendCapabilityError` (a ``ValueError``).
+
+The built-in backends (``python`` with alias ``heap``,
+``segment_tree``, ``sparse``) are registered when
+:mod:`repro.engine.backends` is imported, which the package
+``__init__`` guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.exceptions import (
+    BackendCapabilityError,
+    BackendUnavailableError,
+    InputMismatchError,
+    UnknownBackendError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (no cycles at runtime)
+    from repro.affinity.replicator import ReplicatorResult
+    from repro.core.coordinate_descent import CDResult
+    from repro.core.expansion import ExpansionStep
+    from repro.core.initialization import InitializationPlan
+    from repro.core.newsea import DCSGAResult, VertexSolver
+    from repro.core.refinement import RefinementResult
+    from repro.core.seacd import SEACDResult
+    from repro.graph.graph import Graph, Vertex
+    from repro.graph.sparse import CSRAdjacency
+    from repro.peeling.greedy import PeelResult
+
+from typing import Literal
+
+#: The solver-backend vocabulary shared by every layer that solves
+#: (monitor, stream, batch, CLI).  Peeling additionally accepts the
+#: priority-structure names of :data:`PeelBackend`.
+Backend = Literal["python", "sparse"]
+#: Peeling accepts the two pure-Python priority structures by name.
+PeelBackend = Literal["python", "heap", "segment_tree", "sparse"]
+
+#: Anything the dispatch seam accepts: a registered name or an instance.
+BackendLike = Union[str, "SolverBackend"]
+
+
+class SolverBackend:
+    """Base class / protocol of one compute backend.
+
+    Capabilities default to :class:`BackendCapabilityError`; a backend
+    overrides the ones it implements.  ``available()`` gates optional
+    dependencies — an unavailable backend stays *registered* (so its
+    name is known and the error message is precise) but cannot be
+    resolved.
+
+    ``supports_shared_adjacency`` declares that the backend's kernels
+    can consume a prebuilt :class:`~repro.graph.sparse.CSRAdjacency`
+    (the :class:`~repro.engine.prepared.PreparedGraph` sharing
+    contract); on other backends passing ``adjacency=`` is an error,
+    enforced centrally by :meth:`check_adjacency`.
+    """
+
+    #: Registry name (set on the subclass).
+    name: str = ""
+    #: Whether ``adjacency=`` / CSR sharing means anything here.
+    supports_shared_adjacency: bool = False
+
+    # -- availability --------------------------------------------------
+    def available(self) -> bool:
+        """Whether the backend's dependencies are importable."""
+        return True
+
+    def missing_reason(self) -> str:
+        """Why :meth:`available` is False (shown in lookup errors)."""
+        return f"backend {self.name!r} is unavailable"
+
+    def require_available(self) -> None:
+        """Raise :class:`BackendUnavailableError` if unusable here."""
+        if not self.available():
+            raise BackendUnavailableError(self.missing_reason())
+
+    # -- capability introspection -------------------------------------
+    def has_capability(self, capability: str) -> bool:
+        """Whether this backend overrides *capability* (vs. the base
+        class's raising stub)."""
+        mine = getattr(type(self), capability, None)
+        return mine is not getattr(SolverBackend, capability, None)
+
+    def require_capabilities(self, *capabilities: str) -> None:
+        """Fail fast (at construction time, not mid-stream) when a
+        long-lived consumer needs capabilities this backend lacks."""
+        for capability in capabilities:
+            if not self.has_capability(capability):
+                raise BackendCapabilityError(self.name, capability)
+
+    # -- shared-adjacency contract ------------------------------------
+    def check_adjacency(self, adjacency: Optional["CSRAdjacency"]) -> None:
+        """The one home of the old thrice-duplicated validation:
+        ``adjacency=`` is only meaningful on a CSR-capable backend."""
+        if adjacency is not None and not self.supports_shared_adjacency:
+            raise InputMismatchError(
+                "adjacency is only meaningful with a CSR-capable backend "
+                f"(backend={self.name!r} does not share adjacencies)"
+            )
+
+    # -- capabilities --------------------------------------------------
+    def peel(
+        self,
+        graph: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "PeelResult":
+        """Algorithm 1: greedy peeling by minimum induced degree."""
+        raise BackendCapabilityError(self.name, "peel")
+
+    def shrink(
+        self,
+        graph: "Graph",
+        x: Dict["Vertex", float],
+        subset: Iterable["Vertex"],
+        tol: float,
+        max_iterations: int = 100_000,
+    ) -> "CDResult":
+        """The 2-coordinate-descent shrink stage (Section V-B)."""
+        raise BackendCapabilityError(self.name, "shrink")
+
+    def expand(
+        self,
+        graph: "Graph",
+        x: Dict["Vertex", float],
+        objective: Optional[float] = None,
+    ) -> "ExpansionStep":
+        """The SEA expansion step (add vertices with gradient > lambda)."""
+        raise BackendCapabilityError(self.name, "expand")
+
+    def seacd(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        max_cd_iterations: int = 100_000,
+    ) -> "SEACDResult":
+        """Algorithm 3: shrink/expansion loop to a global KKT point."""
+        raise BackendCapabilityError(self.name, "seacd")
+
+    def refine(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        tol_scale: float = 1e-2,
+        max_cd_iterations: int = 100_000,
+    ) -> "RefinementResult":
+        """Algorithm 4: merge to a positive-clique support."""
+        raise BackendCapabilityError(self.name, "refine")
+
+    def new_sea(
+        self,
+        gd_plus: "Graph",
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        plan: Optional["InitializationPlan"] = None,
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "DCSGAResult":
+        """Algorithm 5: smart-initialised SEACD + refinement."""
+        raise BackendCapabilityError(self.name, "new_sea")
+
+    def vertex_solver(
+        self,
+        gd_plus: "Graph",
+        tol_scale: float = 1e-2,
+        max_expansions: int = 10_000,
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "VertexSolver":
+        """A per-vertex SEACD+Refine closure for all-inits drivers."""
+        raise BackendCapabilityError(self.name, "vertex_solver")
+
+    def initialization_plan(
+        self,
+        gd_plus: "Graph",
+        adjacency: Optional["CSRAdjacency"] = None,
+    ) -> "InitializationPlan":
+        """Theorem 6 smart-initialisation bounds ``mu_u`` + trial order."""
+        raise BackendCapabilityError(self.name, "initialization_plan")
+
+    def replicator(
+        self,
+        graph: "Graph",
+        x0: Dict["Vertex", float],
+        rule: str = "objective",
+        tol: float = 1e-6,
+        max_iterations: int = 100_000,
+    ) -> "ReplicatorResult":
+        """Replicator dynamics (the original SEA's shrink stage)."""
+        raise BackendCapabilityError(self.name, "replicator")
+
+    def mean_graph(self, graphs: List["Graph"]) -> "Graph":
+        """Edge-wise mean over the union vertex set (monitor windows)."""
+        raise BackendCapabilityError(self.name, "mean_graph")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# the registry proper
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, SolverBackend] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Idempotently register the built-in backends.
+
+    Importing :mod:`repro.engine.backends` has the side effect of
+    registering them; doing it lazily here makes every entry point
+    (`get_backend`, `backend_names`) safe whatever import reached the
+    registry first.
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        from repro.engine import backends  # noqa: F401  (import = register)
+
+
+def register_backend(
+    backend: SolverBackend,
+    aliases: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> SolverBackend:
+    """Register *backend* under ``backend.name`` (plus *aliases*).
+
+    Re-registering a taken name requires ``replace=True`` — accidental
+    shadowing of a built-in should be loud.  Returns the backend so the
+    call can be used as an expression.
+    """
+    _ensure_builtins()
+    if not backend.name:
+        raise ValueError("backend must set a non-empty name")
+    names = (backend.name,) + tuple(aliases)
+    if not replace:
+        taken = [name for name in names if name in _REGISTRY]
+        if taken:
+            raise ValueError(
+                f"backend name(s) already registered: {', '.join(taken)}; "
+                "pass replace=True to shadow"
+            )
+    for name in names:
+        _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> SolverBackend:
+    """Remove one registry entry (alias-by-alias); returns the backend."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name, known=tuple(_REGISTRY))
+    return _REGISTRY.pop(name)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Every registered name (aliases included), sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, require: bool = True) -> SolverBackend:
+    """Look up a backend by registered name.
+
+    Unknown names raise :class:`UnknownBackendError`; with *require*
+    (the default), an unavailable backend (missing dependency) raises
+    :class:`BackendUnavailableError` here rather than deep inside a
+    solve.
+    """
+    _ensure_builtins()
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, known=tuple(_REGISTRY)) from None
+    if require:
+        backend.require_available()
+    return backend
+
+
+def resolve_backend(
+    backend: BackendLike,
+    fallback: Optional[str] = None,
+) -> SolverBackend:
+    """Resolve a name *or* instance to a usable backend.
+
+    *fallback* names the backend to degrade to when the requested one
+    is registered but unavailable (e.g. ``"sparse"`` without SciPy →
+    ``"python"``); without it, unavailability raises.  Unknown names
+    always raise — a typo should never silently fall back.
+    """
+    if isinstance(backend, SolverBackend):
+        backend.require_available()
+        return backend
+    found = get_backend(backend, require=False)
+    if not found.available():
+        if fallback is None:
+            found.require_available()
+        return get_backend(fallback)
+    return found

@@ -64,3 +64,37 @@ class BackendUnavailableError(ReproError, RuntimeError):
     imported; the pure-Python reference backend is always available.
     """
 
+
+class UnknownBackendError(ReproError, ValueError):
+    """A backend name is not registered in the engine's backend registry.
+
+    Subclasses :class:`ValueError` so callers that predate the registry
+    (``except ValueError``) keep working.
+    """
+
+    def __init__(self, name: object, known: tuple = ()) -> None:
+        suffix = (
+            f"; registered backends: {', '.join(sorted(known))}"
+            if known
+            else ""
+        )
+        super().__init__(f"unknown backend {name!r}{suffix}")
+        self.name = name
+        self.known = tuple(known)
+
+
+class BackendCapabilityError(ReproError, ValueError):
+    """A registered backend does not implement the requested capability.
+
+    E.g. the ``segment_tree`` backend only provides peeling; asking it
+    for SEACD raises this.  Subclasses :class:`ValueError` to match the
+    pre-registry dispatch errors.
+    """
+
+    def __init__(self, backend: str, capability: str) -> None:
+        super().__init__(
+            f"backend {backend!r} does not implement {capability!r}"
+        )
+        self.backend = backend
+        self.capability = capability
+

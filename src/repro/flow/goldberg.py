@@ -19,7 +19,6 @@ minimum cut equals ``2 W - 2 max_S (w(S) - g |S|)``, so a cut below
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Set, Tuple
 
 from repro.flow.dinic import FlowNetwork, max_flow, min_cut_side

@@ -29,7 +29,10 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as np
+except ImportError:  # pragma: no cover - container ships NumPy
+    np = None  # type: ignore[assignment]
 
 from repro.exceptions import (
     BackendUnavailableError,

@@ -8,8 +8,6 @@ Dijkstra (positive weights) supports analysis utilities and tests.
 from __future__ import annotations
 
 import heapq
-import math
-from collections import deque
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import VertexNotFound

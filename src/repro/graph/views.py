@@ -12,7 +12,7 @@ by :mod:`repro.analysis.metrics`, :mod:`repro.graph.components` and
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import Iterable, Iterator, Mapping, Optional, Set
 
 from repro.exceptions import VertexNotFound
 from repro.graph.graph import Edge, Graph, Vertex

@@ -27,16 +27,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
+from repro.engine.registry import PeelBackend as Backend
+from repro.engine.registry import resolve_backend
 from repro.graph.graph import Graph, Vertex
 from repro.structures.heap import IndexedHeap
 from repro.structures.segment_tree import MinSegmentTree
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.graph.sparse import CSRAdjacency
+
 #: ``"python"`` is accepted as an alias of ``"heap"`` (the default
 #: pure-Python priority structure), so callers can use the same
-#: backend vocabulary across every solver layer.
-Backend = Literal["heap", "segment_tree", "sparse", "python"]
+#: backend vocabulary across every solver layer; the names resolve
+#: through the engine registry (:mod:`repro.engine.registry`).
 
 
 @dataclass(frozen=True)
@@ -64,22 +69,23 @@ class PeelResult:
     densities: List[float] = field(repr=False)
 
 
-def greedy_peel(graph: Graph, backend: Backend = "heap") -> PeelResult:
+def greedy_peel(
+    graph: Graph,
+    backend: Backend = "heap",
+    adjacency: Optional["CSRAdjacency"] = None,
+) -> PeelResult:
     """Run Algorithm 1 on *graph* and return the best prefix.
+
+    *backend* resolves through the engine registry; *adjacency* hands a
+    CSR-capable backend the graph's prebuilt frozen adjacency (the
+    :class:`~repro.engine.prepared.PreparedGraph` sharing contract).
 
     Raises ``ValueError`` on an empty graph (Algorithm 2 handles the
     empty/edgeless special cases before calling this).
     """
-    n = graph.num_vertices
-    if n == 0:
+    if graph.num_vertices == 0:
         raise ValueError("cannot peel an empty graph")
-    if backend in ("heap", "python"):
-        return _peel_heap(graph)
-    if backend == "segment_tree":
-        return _peel_segment_tree(graph)
-    if backend == "sparse":
-        return _peel_sparse(graph)
-    raise ValueError(f"unknown backend {backend!r}")
+    return resolve_backend(backend).peel(graph, adjacency=adjacency)
 
 
 def _peel_heap(graph: Graph) -> PeelResult:
@@ -155,22 +161,38 @@ def _peel_loop(graph, degrees, heap_pop, heap_adjust, alive) -> PeelResult:
     )
 
 
-def _peel_sparse(graph: Graph) -> PeelResult:
+def _peel_sparse(
+    graph: Graph, adjacency: Optional["CSRAdjacency"] = None
+) -> PeelResult:
     """Vectorised peel: CSR degree array + lazy heap.
 
     Degrees are initialised as one row-sum and updated with O(deg)
     NumPy row slices; the priority queue is a lazy ``heapq`` (an entry
     is stale unless its key equals the vertex's current degree), which
     handles both key directions of signed weights without an
-    addressable structure.
+    addressable structure.  *adjacency* supplies the graph's prebuilt
+    CSR (validated cheaply against vertex/edge counts) so shared
+    preparations skip the freeze.
     """
     import numpy as np
 
+    from repro.exceptions import InputMismatchError
     from repro.graph.sparse import CSRAdjacency
 
-    adj = CSRAdjacency.from_graph(graph)
+    if adjacency is not None:
+        if (
+            adjacency.n != graph.num_vertices
+            or adjacency.num_edges != graph.num_edges
+        ):
+            raise InputMismatchError(
+                "shared adjacency does not match the peeled graph; "
+                "it was built from another graph"
+            )
+        adj = adjacency
+    else:
+        adj = CSRAdjacency.from_graph(graph)
     n = adj.n
-    degrees = adj.degrees()
+    degrees = adj.degrees().copy()
     alive = np.ones(n, dtype=bool)
     heap = [(float(degrees[i]), i) for i in range(n)]
     heapq.heapify(heap)

@@ -54,7 +54,7 @@ gates the engine's speedup against it *with identical alert sets*.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Deque,
     Dict,
@@ -62,15 +62,15 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )
 
-from repro.core.dcsad import dcs_greedy
 from repro.core.difference import difference_graph
 from repro.core.monitor import mean_graph
-from repro.core.newsea import new_sea
+from repro.engine.envelope import SolveRequest, solve
+from repro.engine.prepared import PreparedGraph
+from repro.engine.registry import get_backend
 from repro.exceptions import InputMismatchError, VertexNotFound
 from repro.graph.graph import Graph, Vertex
 from repro.stream.alerts import (
@@ -80,7 +80,7 @@ from repro.stream.alerts import (
     AlertLog,
     StreamAlert,
 )
-from repro.stream.events import EdgeEvent, edge_key
+from repro.stream.events import EdgeEvent
 from repro.stream.window import SlidingWindowAccumulator
 
 Measure = str  # "average_degree" | "affinity"
@@ -125,33 +125,40 @@ def solve_difference(
     Shared by the engine and the naive recompute path, so both sides of
     every parity check run literally the same solver on the same
     semantics: restrict to the active subgraph (isolated vertices cannot
-    be part of a positive-density answer), then DCSGreedy
-    (``average_degree``) or NewSEA on ``GD+`` (``affinity``).
+    be part of a positive-density answer), then solve through the
+    engine's shared result envelope — DCSGreedy (``average_degree``) or
+    NewSEA on ``GD+`` (``affinity``), with one
+    :class:`~repro.engine.prepared.PreparedGraph` owning the positive
+    part (KKT reporting is skipped: this is the per-step hot path).
     A difference graph with no edges — or no positive edge under
     ``affinity`` — yields the empty outcome (score 0, nothing to flag).
     """
+    if measure not in ("average_degree", "affinity"):
+        raise ValueError(f"unknown measure {measure!r}")
     active = [u for u in diff.vertices() if diff.unweighted_degree(u) > 0]
     if not active:
         return EMPTY_OUTCOME
     sub = diff.subgraph(active)
-    if measure == "average_degree":
-        result = dcs_greedy(sub, backend=backend, seed=seed)
-        if result.density <= 0.0:
-            return EMPTY_OUTCOME
-        return SolveOutcome(subset=frozenset(result.subset), score=result.density)
-    if measure == "affinity":
-        plus = sub.positive_part()
-        if plus.num_edges == 0:
-            return EMPTY_OUTCOME
-        result = new_sea(plus, tol_scale=tol_scale, backend=backend)
-        if result.objective <= 0.0:
-            return EMPTY_OUTCOME
-        return SolveOutcome(
-            subset=frozenset(result.support),
-            score=result.objective,
-            x=dict(result.x),
-        )
-    raise ValueError(f"unknown measure {measure!r}")
+    prepared = PreparedGraph(sub)
+    if measure == "affinity" and prepared.gd_plus.num_edges == 0:
+        return EMPTY_OUTCOME
+    result = solve(
+        SolveRequest(
+            measure=measure,
+            backend=backend,
+            tol_scale=tol_scale,
+            seed=seed,
+            check_kkt=False,
+        ),
+        prepared,
+    )
+    if result.density <= 0.0:
+        return EMPTY_OUTCOME
+    return SolveOutcome(
+        subset=frozenset(result.subset),
+        score=result.density,
+        x=dict(result.embedding) if result.embedding is not None else None,
+    )
 
 
 class DirtyRegion:
@@ -275,8 +282,12 @@ class StreamingDCSEngine:
     ) -> None:
         if measure not in ("average_degree", "affinity"):
             raise ValueError(f"unknown measure {measure!r}")
-        if backend not in ("python", "sparse"):
-            raise ValueError(f"unknown backend {backend!r}")
+        # Unknown names, missing dependencies and solver-incapable
+        # backends all fail here — never at some later dirty step.
+        solver_backend = get_backend(backend)
+        solver_backend.require_capabilities(
+            "peel" if measure == "average_degree" else "new_sea"
+        )
         if policy not in ("exact", "gated"):
             raise ValueError(f"unknown policy {policy!r}")
         self.universe: Set[Vertex] = set(universe)
@@ -303,7 +314,7 @@ class StreamingDCSEngine:
         self._anchor_score = 0.0
 
         self._mirror = None
-        if backend == "sparse":
+        if solver_backend.supports_shared_adjacency:
             from repro.graph.sparse import MutableCSRAdjacency
 
             base = Graph()

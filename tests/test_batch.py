@@ -419,7 +419,7 @@ class TestBatchExecutor:
             [BatchQuery(kind="dcsad", source=GraphSource.from_pair(*pair))]
         )
         assert result.payload["density"] == direct.density
-        assert result.payload["subset"] == sorted(map(str, direct.subset))
+        assert result.payload["vertices"] == sorted(map(str, direct.subset))
 
     def test_serial_and_forced_process_are_byte_identical(self, pair):
         queries = mixed_queries(pair)
@@ -624,7 +624,7 @@ class TestBatchExecutor:
             [BatchQuery(kind="dcsga", source=GraphSource.from_pair(*pair))]
         )
         assert executor_module._SHARED_PAYLOADS == {}
-        assert executor_module._SHARED_PLUS == {}
+        assert executor_module._SHARED_PREPARED == {}
 
     def test_invalid_configuration_rejected(self):
         with pytest.raises(ValueError):
