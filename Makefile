@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench docs-check check
+.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service serve-smoke bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
@@ -25,7 +25,8 @@ coverage:
 
 ## Lint + type gates: ruff (runtime-correctness rule tier, see
 ## ruff.toml) over the library, and a `mypy --strict` pass over the
-## engine layer (the dispatch seam every other layer builds on).
+## engine layer (the dispatch seam every other layer builds on) and
+## the service layer (the network-facing surface).
 ## Requires ruff + mypy (`pip install ruff mypy`); plain `make test`
 ## stays dependency-light.
 lint:
@@ -34,15 +35,17 @@ lint:
 	$(PYTHON) -m ruff check src examples
 	@$(PYTHON) -c "import mypy" 2>/dev/null || \
 		{ echo "mypy is not installed: pip install mypy"; exit 1; }
-	$(PYTHON) -m mypy --strict src/repro/engine
+	$(PYTHON) -m mypy --strict src/repro/engine src/repro/service
 
-## Scalability + streaming + batch gates: sparse-vs-python backend
-## speedup (>= 5x at the largest planted size), incremental-engine
-## speedup over snapshot recompute (>= 3x at the largest event count),
-## and batch-service speedup over the per-query serial loop (>= 2x on
-## a 16-query sweep) — all with answer-parity checks.
+## Scalability + streaming + batch + service gates: sparse-vs-python
+## backend speedup (>= 5x at the largest planted size), incremental-
+## engine speedup over snapshot recompute (>= 3x at the largest event
+## count), batch-service speedup over the per-query serial loop (>= 2x
+## on a 16-query sweep), and warm query-service throughput over a
+## per-query CLI subprocess loop (>= 5x on a 32-query sweep) — all
+## with answer-parity checks.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py -q
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py benchmarks/bench_service.py -q
 
 ## Streaming benchmark only — incremental engine vs naive recompute,
 ## alert parity and the >= 3x speedup gate.
@@ -54,6 +57,17 @@ bench-stream:
 ## resubmission; writes benchmarks/output/batch_results.jsonl.
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_batch.py -q
+
+## Query-service benchmark only — resident `repro serve` vs per-query
+## CLI subprocess loop: >= 5x warm-cache throughput, envelopes
+## byte-identical to `repro --json`.
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service.py -q
+
+## Service smoke: spawn a real server, run the client round-trip tour
+## (upload, solve, cached re-solve, batch, stream replay, /metrics).
+serve-smoke:
+	$(PYTHON) examples/service_client.py
 
 ## Every table/figure reproduction benchmark (slow; writes rendered
 ## artefacts to benchmarks/output/).

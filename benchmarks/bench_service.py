@@ -1,0 +1,273 @@
+"""Service gates: warm-cache throughput and envelope byte-identity.
+
+The workload is a 32-query mixed DCSAD/DCSGA sweep — 4 uploaded graph
+pairs x {dcsad, dcsga} x {k=1, k=2} x {python, sparse} — issued two
+ways:
+
+* **per-query CLI subprocess loop** — what interactive use looked like
+  before the service: every query pays interpreter start, imports,
+  file reads and graph preparation (``repro <kind> g1 g2 --json``);
+* **resident service** — one ``repro serve`` process; the pairs are
+  uploaded once, the sweep runs twice, and the *second* (warm) pass is
+  timed: every answer comes from the warm ``PreparedGraph`` LRU and the
+  content-addressed result cache.
+
+Two gates:
+
+* **>= 5x warm-cache throughput** over the CLI loop (in practice the
+  margin is orders of magnitude — a warm hit is a cache lookup);
+* **byte-identical envelopes**: each service ``result`` record equals
+  the ``repro --json`` record for the same query, byte for byte, after
+  dropping the out-of-band ``timings``.  Both processes run under
+  ``PYTHONHASHSEED=0``: solver float summation follows hash order, so
+  byte-stability across *processes* is defined at a pinned seed (the
+  in-process canonical-payload invariance is covered by the test
+  suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from benchmarks._harness import emit
+from repro.analysis.reporting import Table
+from repro.graph.generators import random_signed_graph
+from repro.graph.io import write_pair
+from repro.graph.sparse import scipy_available
+
+N_PAIRS = 4
+BACKENDS = ("python", "sparse") if scipy_available() else ("python",)
+
+
+def _pair_files(tmp_path):
+    """Four deterministic (g1, g2) edge-list pairs on string labels."""
+    files = []
+    for index in range(N_PAIRS):
+        names = {i: f"v{i:02d}" for i in range(36)}
+        g1 = (
+            random_signed_graph(36, 0.18, seed=100 + index)
+            .positive_part()
+            .relabeled(names)
+        )
+        g2 = (
+            random_signed_graph(36, 0.22, seed=200 + index)
+            .positive_part()
+            .relabeled(names)
+        )
+        for v in g1.vertices():
+            g2.add_vertex(v)
+        for v in g2.vertices():
+            g1.add_vertex(v)
+        p1 = tmp_path / f"pair{index}_g1.txt"
+        p2 = tmp_path / f"pair{index}_g2.txt"
+        write_pair(g1, g2, p1, p2)
+        files.append((str(p1), str(p2)))
+    return files
+
+
+def _sweep(files):
+    """The 32-query mixed sweep: (pair index, kind, k, backend)."""
+    queries = []
+    for index in range(len(files)):
+        for kind in ("dcsad", "dcsga"):
+            for k in (1, 2):
+                for backend in BACKENDS:
+                    queries.append((index, kind, k, backend))
+    while len(queries) < 32:  # no SciPy: double the python sweep via k
+        index, kind, k, backend = queries[len(queries) % 16]
+        queries.append((index, kind, k + 2, backend))
+    return queries
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "0"  # cross-process byte-stability
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _strip(record):
+    return json.dumps(
+        {k: v for k, v in record.items() if k != "timings"}, sort_keys=True
+    )
+
+
+def _cli_loop(files, queries, env):
+    """The baseline: one ``repro <kind> --json`` subprocess per query."""
+    records = []
+    for index, kind, k, backend in queries:
+        g1, g2 = files[index]
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", kind, g1, g2,
+                "--json", "--top-k", str(k), "--backend", backend,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        records.append(json.loads(proc.stdout))
+    return records
+
+
+def _post(base, path, payload, timeout=120):
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(base, path, timeout=30):
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture
+def server(tmp_path_factory):
+    """One resident ``repro serve`` process on an ephemeral port."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--scale", "0.0", "--warm-capacity", "8",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        assert match, f"no listening banner: {banner!r}"
+        yield f"http://{match.group(1)}:{match.group(2)}"
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+def test_service_warm_throughput_and_byte_identity(
+    benchmark, server, tmp_path
+):
+    files = _pair_files(tmp_path)
+    queries = _sweep(files)
+    assert len(queries) == 32
+    env = _env()
+
+    # Upload every pair once — the service's named warm graphs.
+    for index, (g1, g2) in enumerate(files):
+        with open(g1, encoding="utf-8") as fh:
+            g1_text = fh.read()
+        with open(g2, encoding="utf-8") as fh:
+            g2_text = fh.read()
+        uploaded = _post(
+            server,
+            "/v1/graphs",
+            {"name": f"pair{index}", "g1": g1_text, "g2": g2_text},
+        )
+        assert len(uploaded["fingerprint"]) == 64
+
+    def service_pass():
+        bodies = []
+        for index, kind, k, backend in queries:
+            bodies.append(
+                _post(
+                    server,
+                    "/v1/solve",
+                    {
+                        "graph": f"pair{index}",
+                        "kind": kind,
+                        "k": k,
+                        "backend": backend,
+                    },
+                )
+            )
+        return bodies
+
+    # Cold pass: fills the result cache (preps are already warm).
+    start = time.perf_counter()
+    cold_bodies = service_pass()
+    cold_seconds = time.perf_counter() - start
+
+    # Warm pass: the gated path — every answer served from cache.
+    start = time.perf_counter()
+    warm_bodies = benchmark.pedantic(service_pass, rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cli_records = _cli_loop(files, queries, env)
+    cli_seconds = time.perf_counter() - start
+
+    metrics = _get(server, "/metrics")
+    speedup = cli_seconds / warm_seconds
+
+    table = Table(
+        title=(
+            "Query service: 32-query mixed DCSAD/DCSGA sweep "
+            f"(4 uploaded pairs x kinds x k x {len(BACKENDS)} backends)"
+        ),
+        columns=["Path", "Wall (s)", "Per query (ms)", "Cached"],
+    )
+    table.add_row(
+        [
+            "CLI subprocess loop",
+            f"{cli_seconds:.3f}",
+            f"{1000 * cli_seconds / 32:.1f}",
+            "0/32",
+        ]
+    )
+    table.add_row(
+        [
+            "service, cold (prep warm)",
+            f"{cold_seconds:.3f}",
+            f"{1000 * cold_seconds / 32:.1f}",
+            f"{sum(b['cached'] for b in cold_bodies)}/32",
+        ]
+    )
+    table.add_row(
+        [
+            "service, warm cache",
+            f"{warm_seconds:.3f}",
+            f"{1000 * warm_seconds / 32:.1f}",
+            f"{sum(b['cached'] for b in warm_bodies)}/32",
+        ]
+    )
+    emit(
+        "service_throughput",
+        table.render()
+        + f"\nwarm-cache speedup over CLI loop: {speedup:.1f}x"
+        + "\ncache hit rate: "
+        f"{metrics['cache']['hit_rate']:.2f}, warm prepared: "
+        f"{metrics['warm']['prepared']}, p95 latency: "
+        f"{metrics['latency']['p95_seconds'] * 1000:.1f} ms",
+    )
+
+    # Gate 1: every request answered, warm pass fully cached.
+    assert all(b["status"] == "ok" for b in cold_bodies + warm_bodies)
+    assert all(b["cached"] for b in warm_bodies)
+
+    # Gate 2: service envelopes byte-identical to `repro --json` for the
+    # same requests (out-of-band timings dropped on both sides).
+    service_canonical = [_strip(b["result"]) for b in cold_bodies]
+    cli_canonical = [_strip(r) for r in cli_records]
+    assert service_canonical == cli_canonical
+    # ... and the warm pass replays exactly the same bytes.
+    assert [_strip(b["result"]) for b in warm_bodies] == service_canonical
+
+    # Gate 3: >= 5x warm-cache throughput over the per-query CLI loop.
+    assert speedup >= 5.0, (
+        f"warm service must be >= 5x over the CLI loop, got {speedup:.1f}x "
+        f"(cli {cli_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+    )

@@ -25,12 +25,18 @@ graph/CSR table per fingerprint; every query comes back as a
 in input order.  ``repro batch`` is the CLI face of the same layer.
 """
 
-from repro.batch.cache import ResultCache, cache_key
+from repro.batch.cache import (
+    ResultCache,
+    cache_key,
+    canonical_params,
+    canonical_text,
+)
 from repro.batch.executor import (
     BatchExecutor,
     BatchResult,
     BatchStats,
     execute_payload,
+    run_guarded,
 )
 from repro.batch.plan import BatchPlan, PrepOutput, prep_key
 from repro.batch.queries import (
@@ -51,8 +57,11 @@ __all__ = [
     "PrepOutput",
     "ResultCache",
     "cache_key",
+    "canonical_params",
+    "canonical_text",
     "execute_payload",
     "prep_key",
+    "run_guarded",
     "query_from_dict",
     "query_to_dict",
     "read_queries",

@@ -55,7 +55,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.batch.cache import ResultCache, cache_key
+from repro.batch.cache import ResultCache, cache_key, canonical_text
 from repro.batch.plan import BatchPlan
 from repro.batch.queries import BatchQuery, assign_qids
 from repro.engine.envelope import SolveRequest, solve
@@ -63,7 +63,13 @@ from repro.engine.prepared import PreparedGraph
 from repro.graph.graph import Graph
 from repro.stream.events import EventLog
 
-__all__ = ["BatchExecutor", "BatchResult", "BatchStats", "execute_payload"]
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
+    "execute_payload",
+    "run_guarded",
+]
 
 
 # ----------------------------------------------------------------------
@@ -90,9 +96,12 @@ class BatchResult:
         """The *answer identity*: everything except provenance/timing.
 
         Two runs of the same query must produce equal canonical JSON
-        whatever mode, worker count or cache state served them.
+        whatever mode, worker count or cache state served them.  The
+        byte form is :func:`~repro.batch.cache.canonical_text` — the
+        same one the result cache persists — so cached bytes and fresh
+        bytes can be compared directly.
         """
-        return json.dumps(
+        return canonical_text(
             {
                 "qid": self.qid,
                 "kind": self.kind,
@@ -100,8 +109,7 @@ class BatchResult:
                 "fingerprint": self.fingerprint,
                 "payload": self.payload,
                 "error": self.error,
-            },
-            sort_keys=True,
+            }
         )
 
     def to_json(self) -> str:
@@ -266,24 +274,25 @@ class _QueryTimeout(Exception):
     """Raised (via SIGALRM) inside the executing process on timeout."""
 
 
-def _run_spec(
-    spec: _QuerySpec, timeout: Optional[float] = None
+def run_guarded(
+    work: Any, timeout: Optional[float] = None
 ) -> Tuple[str, Any, float]:
-    """Execute one work order against the shared tables.
+    """Run ``work()`` under timeout enforcement and failure isolation.
 
-    Runs in a worker process (pooled mode) or in the submitting process
-    (serial mode) — either way the executing process's main thread, so
-    *timeout* is enforced with a real ``SIGALRM`` interrupt where the
-    platform allows; elsewhere it degrades to advisory (the query runs
-    to completion).
+    This is the executor's per-query guard, factored out so other
+    delivery layers (the long-running query service) enforce the same
+    budget semantics on the same code path.  When the calling thread is
+    the process's main thread, *timeout* is enforced with a real
+    ``SIGALRM`` interrupt; elsewhere — a non-main thread, a platform
+    without ``SIGALRM`` — it degrades to advisory (the work runs to
+    completion) and the caller is expected to bound the *wait* itself.
 
     Returns ``(status, value, seconds)`` with *seconds* measured where
-    the query actually ran: ``("ok", payload, s)``,
+    the work actually ran: ``("ok", result, s)``,
     ``("error", message, s)`` or ``("timeout", message, s)``.  Nothing
-    query-level is raised — returning the failure keeps it picklable
+    work-level is raised — returning the failure keeps it picklable
     and the worker healthy; only infrastructure failures propagate.
     """
-    payload = _SHARED_PAYLOADS[spec.fingerprint]
     start = time.perf_counter()
     use_alarm = (
         timeout is not None
@@ -296,18 +305,24 @@ def _run_spec(
 
         try:
             previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
-            previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
         except ValueError:
             # Not the main thread: timeouts degrade to advisory.
             use_alarm = False
+        else:
+            try:
+                previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+            except ValueError:
+                # signal() succeeded but the timer could not be armed
+                # (non-main-thread race).  Degrade to advisory — but
+                # first put the host's handler back: leaving our
+                # _on_alarm installed would leak a handler whose
+                # _QueryTimeout escapes into unrelated host code the
+                # next time anything arms SIGALRM.
+                signal.signal(signal.SIGALRM, previous_handler)
+                use_alarm = False
     try:
         try:
-            prepared = None
-            if isinstance(payload, Graph):
-                prepared = _shared_prepared(spec.fingerprint, payload)
-            answer = execute_payload(
-                spec.kind, spec.params, payload, prepared=prepared
-            )
+            answer = work()
         finally:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -336,6 +351,31 @@ def _run_spec(
             time.perf_counter() - start,
         )
     return "ok", answer, time.perf_counter() - start
+
+
+def _run_spec(
+    spec: _QuerySpec, timeout: Optional[float] = None
+) -> Tuple[str, Any, float]:
+    """Execute one work order against the shared tables.
+
+    Runs in a worker process (pooled mode) or in the submitting process
+    (serial mode) — either way the executing process's main thread, so
+    :func:`run_guarded` enforces *timeout* with a real ``SIGALRM``
+    interrupt where the platform allows.  The shared-table lookups (and
+    the lazy per-fingerprint preparation) happen inside the guarded
+    work, so preparation time counts against the query's budget.
+    """
+    payload = _SHARED_PAYLOADS[spec.fingerprint]
+
+    def work() -> Dict[str, Any]:
+        prepared = None
+        if isinstance(payload, Graph):
+            prepared = _shared_prepared(spec.fingerprint, payload)
+        return execute_payload(
+            spec.kind, spec.params, payload, prepared=prepared
+        )
+
+    return run_guarded(work, timeout)
 
 
 # ----------------------------------------------------------------------
@@ -425,7 +465,20 @@ class BatchExecutor:
                 )
                 continue
             params = query.solve_params()
-            keys[position] = cache_key(prep.fingerprint, params)
+            try:
+                keys[position] = cache_key(prep.fingerprint, params)
+            except ValueError as exc:
+                # Unhashable parameters (non-finite floats) fail only
+                # the offending query — the executor's per-query
+                # isolation contract — never the whole submission.
+                results[position] = BatchResult(
+                    qid=query.qid,
+                    kind=query.kind,
+                    status="error",
+                    fingerprint=prep.fingerprint,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
             hit = self.cache.get(keys[position])
             if hit is not None:
                 self.stats.cache_hits += 1

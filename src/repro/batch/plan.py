@@ -65,9 +65,13 @@ def prep_key(query: BatchQuery) -> PrepKey:
     ) + transform
 
 
-def _event_log_fingerprint(log: EventLog) -> str:
+def event_log_fingerprint(log: EventLog) -> str:
     """Content hash of an event log (the stream analogue of
-    :func:`~repro.graph.sparse.graph_fingerprint`)."""
+    :func:`~repro.graph.sparse.graph_fingerprint`).
+
+    Public because the query service addresses its replay cache with
+    it — one vocabulary of content identity across batch and service.
+    """
     digest = hashlib.sha256()
     for vertex in sorted(map(repr, log.declared)):
         digest.update(vertex.encode("utf-8"))
@@ -164,7 +168,7 @@ class BatchPlan:
                 )
                 continue
             if isinstance(payload, EventLog):
-                fingerprint = _event_log_fingerprint(payload)
+                fingerprint = event_log_fingerprint(payload)
             else:
                 fingerprint = graph_fingerprint(payload)
             outputs[key] = PrepOutput(

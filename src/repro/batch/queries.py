@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, IO, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
 
 from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph
@@ -249,8 +249,19 @@ def query_to_dict(query: BatchQuery) -> Dict[str, Any]:
     return out
 
 
-def query_from_dict(record: Dict[str, Any], qid: str = "") -> BatchQuery:
-    """Parse one query object (inverse of :func:`query_to_dict`)."""
+def query_from_dict(
+    record: Dict[str, Any],
+    qid: str = "",
+    graph_resolver: Optional[Callable[[str], Graph]] = None,
+) -> BatchQuery:
+    """Parse one query object (inverse of :func:`query_to_dict`).
+
+    *graph_resolver* extends the source vocabulary with ``{"graph":
+    name}`` records: the callable maps a name to an already-assembled
+    difference graph (the query service resolves through its warm
+    registry).  Without a resolver, ``graph`` references are rejected —
+    file-based submissions have no registry to resolve against.
+    """
     if not isinstance(record, dict):
         raise InputMismatchError(f"query record must be an object: {record!r}")
     data = dict(record)
@@ -260,7 +271,14 @@ def query_from_dict(record: Dict[str, Any], qid: str = "") -> BatchQuery:
     if kind is None:
         raise InputMismatchError(f"query record has no 'kind': {record!r}")
     qid = str(data.pop("qid", qid))
-    if "events" in data:
+    if "graph" in data:
+        if graph_resolver is None:
+            raise InputMismatchError(
+                "'graph' references need a resolver (they are served by "
+                f"the query service's registry): {record!r}"
+            )
+        source = GraphSource.from_graph(graph_resolver(str(data.pop("graph"))))
+    elif "events" in data:
         source = GraphSource.from_events(data.pop("events"))
     elif "dataset" in data:
         source = GraphSource.from_registry(
@@ -275,7 +293,8 @@ def query_from_dict(record: Dict[str, Any], qid: str = "") -> BatchQuery:
         source = GraphSource.from_files(g1, g2)
     else:
         raise InputMismatchError(
-            f"query record names no input (g1/g2, dataset or events): {record!r}"
+            "query record names no input "
+            f"(g1/g2, dataset, events or graph): {record!r}"
         )
     unknown = set(data) - set(_PARAM_DEFAULTS)
     if unknown:

@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     repro dcsad  G1.txt G2.txt            # DCSGreedy (average degree)
     repro dcsga  G1.txt G2.txt --top-k 3  # NewSEA / top-k (graph affinity)
     repro batch  queries.json --workers 4 # batch service -> JSONL results
+    repro serve  --port 8765              # long-running HTTP query service
     repro stream events.txt --window 5    # incremental monitoring -> JSON
 
 Graphs are whitespace edge lists (``u v weight``; bare ``u`` lines declare
@@ -34,6 +35,12 @@ fields — is planned into a deduplicated work DAG, executed across
 ``--workers`` processes with per-query ``--timeout`` isolation, memoised
 in a content-addressed cache (``--cache-dir`` persists it), and written
 back as one JSONL result record per query.
+
+``repro serve`` starts the long-running query service
+(:mod:`repro.service`): an HTTP/JSON server that keeps named graphs
+prepared in a warm LRU and serves solve / batch / stream-replay
+requests against them, with admission control (429 on overflow),
+per-request timeouts, ``/healthz`` and ``/metrics``.
 
 ``repro stream`` reads an **event file** (``t u v w`` lines: at step
 ``t`` the observed strength of pair ``(u, v)`` became ``w``; bare ``u``
@@ -176,6 +183,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plan",
         action="store_true",
         help="print the deduplicated work DAG and exit without solving",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running HTTP/JSON query service (warm graph cache, "
+        "batch + stream-replay routes, /healthz, /metrics)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks an ephemeral port and prints it "
+        "(default 8765)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent solve workers (default 1)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        help="admission queue bound; overflow answers 429 (default 32)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request solve timeout in seconds "
+        "(a request's own 'timeout' field overrides it)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist the content-addressed result cache here "
+        "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--warm-capacity",
+        type=int,
+        default=8,
+        help="prepared graphs kept warm in the LRU (default 8)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="synthesis scale for dataset references (default 0.25)",
     )
 
     stream = sub.add_parser(
@@ -386,11 +448,51 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.status == "ok" for r in results) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.batch.cache import ResultCache
+    from repro.service import ServiceApp
+
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        app = ServiceApp(
+            cache=cache,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            timeout=args.timeout,
+            warm_capacity=args.warm_capacity,
+            scale=args.scale,
+        )
+    except (ValueError, OSError) as exc:  # bad --workers, cache dir, ...
+        raise SystemExit(str(exc))
+
+    async def _run() -> None:
+        server = await app.start_server(host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        # One parseable line on stdout so scripts (the smoke job, the
+        # benchmark harness) can discover an ephemeral --port 0.
+        print(f"# repro serve listening on http://{host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await app.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("# repro serve stopped", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "dcsad": _cmd_dcsad,
     "dcsga": _cmd_dcsga,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "stream": _cmd_stream,
 }
 

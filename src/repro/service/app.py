@@ -1,0 +1,770 @@
+"""ServiceApp — routes, admission control and the warm query path.
+
+One :class:`ServiceApp` is a resident query engine: it owns a
+:class:`~repro.service.registry.GraphRegistry` (warm
+``PreparedGraph`` LRU), a :class:`~repro.batch.cache.ResultCache`
+(the same content-addressed cache the batch layer fills), a bounded
+admission queue feeding a small thread pool, and the metrics counters.
+The HTTP layer (:mod:`repro.service.http`) is a thin shell around
+:meth:`ServiceApp.handle`; every route is equally reachable in-process
+via :meth:`dispatch` / :meth:`request`, which is how the tests and the
+README quickstart exercise it without sockets.
+
+Routes::
+
+    GET  /healthz            liveness + queue depth
+    GET  /metrics            counters, cache hit rate, p50/p95 latency
+    GET  /v1/datasets        resolvable graph names (uploads + Table II)
+    POST /v1/graphs          upload an edge-list pair -> named graph
+    POST /v1/solve           one dcsad/dcsga (top-k via "k") query
+    POST /v1/batch           a batch of typed queries (PR-3 vocabulary)
+    POST /v1/stream/replay   replay an event log -> alerts + stats
+
+Answer semantics are the engine envelope's: a ``/v1/solve`` response's
+``result`` field is exactly the :meth:`~repro.engine.envelope.
+SolveResult.to_record` JSON that ``repro dcsad --json`` prints — same
+keys, same canonical payload bytes — with only the out-of-band
+``timings`` differing run to run.  Cached answers are reconstructed
+from the canonical payload, so a hit is byte-identical to a fresh
+solve.
+
+Admission control: compute requests enter a bounded
+:class:`asyncio.Queue`; a full queue means an immediate ``429`` (and a
+``rejected`` counter tick) instead of unbounded buffering.  ``workers``
+asyncio consumers bridge the queue to a thread pool where
+:func:`~repro.batch.executor.run_guarded` — the batch executor's own
+per-query guard — runs the solve.  In a pool thread ``SIGALRM`` cannot
+fire, so the request deadline is enforced at the awaiting side: the
+client gets its ``504`` on time even if the solve thread runs on.
+Graph preparation (registry resolution, uploads, event-log parsing) is
+offloaded to the same pool, so the event loop — and ``/healthz`` —
+stays responsive while a large graph is synthesised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.batch.cache import ResultCache, cache_key
+from repro.batch.executor import (
+    BatchExecutor,
+    BatchResult,
+    execute_payload,
+    run_guarded,
+)
+from repro.batch.plan import event_log_fingerprint
+from repro.batch.queries import BatchQuery, assign_qids, query_from_dict
+from repro.engine.envelope import SolveRequest, solve
+from repro.engine.registry import resolve_backend
+from repro.engine.prepared import PreparedGraph
+from repro.exceptions import BackendUnavailableError, InputMismatchError
+from repro.service.http import HttpError, HttpRequest, HttpResponse
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import GraphRegistry
+from repro.stream.events import EventLog, read_events
+
+__all__ = [
+    "ServiceApp",
+    "ServiceDeadlineError",
+    "ServiceOverloadedError",
+]
+
+#: Keys of a solve record that ride outside the canonical answer.
+_OUT_OF_BAND = ("timings", "provenance")
+
+#: Extra seconds the awaiting side grants beyond the query budget
+#: before answering 504 (covers queue hop and result marshalling).
+_TIMEOUT_GRACE = 0.05
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised when the admission queue is full (maps to HTTP 429)."""
+
+
+class ServiceDeadlineError(RuntimeError):
+    """Raised when an admitted request exceeds its await-side deadline
+    (maps to HTTP 504; the abandoned work may finish in the
+    background)."""
+
+
+class _Job:
+    """One admitted unit of work and the future its requester awaits."""
+
+    __slots__ = ("work", "future", "abandoned")
+
+    def __init__(
+        self, work: Callable[[], Any], future: "asyncio.Future[Any]"
+    ) -> None:
+        self.work = work
+        self.future = future
+        #: set when the requester gave up (504 already sent) — a job
+        #: that has not started yet is skipped instead of computed
+        self.abandoned = False
+
+
+def _field_int(body: Dict[str, Any], name: str, default: int) -> int:
+    """An integer field, accepting JSON generators' integral floats."""
+    value = body.get(name, default)
+    if isinstance(value, bool):
+        raise InputMismatchError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise InputMismatchError(
+                f"{name} must be an integer, got {value!r}"
+            )
+        return int(value)
+    if not isinstance(value, int):
+        raise InputMismatchError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
+def _field_optional_int(
+    body: Dict[str, Any], name: str
+) -> Optional[int]:
+    if body.get(name) is None:
+        return None
+    return _field_int(body, name, 0)
+
+
+def _field_float(
+    body: Dict[str, Any], name: str, default: float
+) -> float:
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InputMismatchError(f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _field_bool(body: Dict[str, Any], name: str) -> bool:
+    """A strict boolean field — ``"false"`` must not mean ``True``."""
+    value = body.get(name, False)
+    if not isinstance(value, bool):
+        raise InputMismatchError(f"{name} must be a boolean, got {value!r}")
+    return value
+
+
+class ServiceApp:
+    """The resident DCS query engine behind ``repro serve``.
+
+    Parameters
+    ----------
+    registry / cache:
+        Share or inject state; fresh instances by default.  Pass a
+        directory-backed :class:`~repro.batch.cache.ResultCache` to
+        persist answers across restarts.
+    workers:
+        Concurrent solves (asyncio consumers = pool threads).  Solvers
+        are pure-Python and GIL-bound, so the default of 1 gives honest
+        FIFO latency; raise it when solves block on little CPU.
+    max_pending:
+        Bound of the admission queue; a full queue answers 429.
+    timeout:
+        Default per-request solve budget in seconds (a request's own
+        ``timeout`` field overrides it); ``None`` = unbounded.  On
+        ``/v1/batch`` the budget is per query, so the request deadline
+        is ``timeout x len(queries)``.
+    batch_workers / batch_mode:
+        Forwarded to the :class:`~repro.batch.executor.BatchExecutor`
+        serving ``/v1/batch`` submissions.
+    warm_capacity / scale:
+        Shape the default :class:`GraphRegistry` (ignored when a
+        registry is injected).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[GraphRegistry] = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        workers: int = 1,
+        max_pending: int = 32,
+        timeout: Optional[float] = None,
+        batch_workers: int = 1,
+        batch_mode: str = "serial",
+        warm_capacity: int = 8,
+        scale: float = 0.25,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.registry = (
+            registry
+            if registry is not None
+            else GraphRegistry(capacity=warm_capacity, scale=scale)
+        )
+        self.cache = cache if cache is not None else ResultCache()
+        self.metrics = ServiceMetrics()
+        self.workers = workers
+        self.max_pending = max_pending
+        self.timeout = timeout
+        self.batch_workers = batch_workers
+        self.batch_mode = batch_mode
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[_Job]"] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._routes: Dict[
+            Tuple[str, str],
+            Callable[[HttpRequest], Awaitable[HttpResponse]],
+        ] = {
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/v1/datasets"): self._datasets,
+            ("POST", "/v1/graphs"): self._upload,
+            ("POST", "/v1/solve"): self._solve,
+            ("POST", "/v1/batch"): self._batch,
+            ("POST", "/v1/stream/replay"): self._stream_replay,
+        }
+        self._known_paths = {path for _, path in self._routes}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def _ensure_started(self) -> None:
+        """Bind queue, consumers and pool to the running event loop.
+
+        Re-binding on a *new* loop (repeated ``asyncio.run`` in scripts
+        and doctests) is supported: the previous loop's tasks died with
+        it, only the thread pool needs an explicit shutdown.
+        """
+        loop = asyncio.get_running_loop()
+        if self._loop is loop:
+            return
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self._loop = loop
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers + 1,  # +1 keeps prep off solve slots
+            thread_name_prefix="repro-service",
+        )
+        self._tasks = [
+            loop.create_task(self._consume()) for _ in range(self.workers)
+        ]
+
+    async def aclose(self) -> None:
+        """Stop consumers and release the thread pool."""
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self._tasks = []
+        self._loop = None
+        self._queue = None
+        self._pool = None
+
+    async def _consume(self) -> None:
+        """One admission consumer: queue -> thread pool -> future."""
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            try:
+                if job.abandoned:
+                    continue
+                loop = asyncio.get_running_loop()
+                outcome = await loop.run_in_executor(self._pool, job.work)
+                if not job.future.done():
+                    job.future.set_result(outcome)
+            except asyncio.CancelledError:
+                if not job.future.done():
+                    job.future.cancel()
+                raise
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            finally:
+                self._queue.task_done()
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet picked up by a consumer."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def _run_blocking(self, fn: Callable[[], Any]) -> Any:
+        """Run blocking preparation work off the event loop.
+
+        Registry resolution, uploads and event-log parsing are CPU /
+        IO work that would otherwise freeze every in-flight request
+        (including ``/healthz``) for their duration.  Prep goes through
+        the same bounded admission queue as solves — expensive work a
+        request triggers *anywhere* counts against ``max_pending`` and
+        sheds with a 429 on overflow, never queues without bound.
+        """
+        return await self._submit(fn, None)
+
+    async def _submit(
+        self, work: Callable[[], Any], deadline: Optional[float]
+    ) -> Any:
+        """Admit *work*; await its outcome, bounding the wait.
+
+        Raises :class:`ServiceOverloadedError` when the queue is full
+        and :class:`ServiceDeadlineError` when *deadline* passes first
+        — the job is then abandoned (skipped if not yet started; left
+        to finish in the background if it is), and the requester gets
+        its answer on schedule.
+        """
+        await self._ensure_started()
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        job = _Job(work, loop.create_future())
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.metrics.rejected += 1
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.max_pending} pending); "
+                "retry later"
+            ) from None
+        if deadline is None or deadline <= 0:
+            return await job.future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(job.future), deadline + _TIMEOUT_GRACE
+            )
+        except asyncio.TimeoutError:
+            job.abandoned = True
+            raise ServiceDeadlineError(
+                f"request exceeded its {deadline}s deadline"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one request; every failure maps to a JSON error."""
+        try:
+            response = await self._route(request)
+        except HttpError as exc:
+            response = HttpResponse(exc.status, {"error": exc.message})
+        except ServiceOverloadedError as exc:
+            response = HttpResponse(
+                429, {"error": str(exc)}, headers={"Retry-After": "1"}
+            )
+        except ServiceDeadlineError as exc:
+            response = HttpResponse(
+                504, {"status": "timeout", "error": str(exc)}
+            )
+        except KeyError as exc:
+            message = str(exc.args[0]) if exc.args else str(exc)
+            response = HttpResponse(404, {"error": message})
+        except (
+            InputMismatchError,
+            BackendUnavailableError,  # a RuntimeError, still the client's ask
+            ValueError,
+            TypeError,
+        ) as exc:
+            response = HttpResponse(
+                400, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        except Exception as exc:  # noqa: BLE001 - service must answer
+            response = HttpResponse(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        # Unmatched paths share one metrics bucket so scanner traffic
+        # cannot grow the route table (and /metrics) without bound.
+        route = (
+            request.path
+            if request.path in self._known_paths
+            else "(unmatched)"
+        )
+        self.metrics.observe_request(route, response.status)
+        return response
+
+    async def _route(self, request: HttpRequest) -> HttpResponse:
+        handler = self._routes.get((request.method, request.path))
+        if handler is not None:
+            return await handler(request)
+        if request.path in self._known_paths:
+            raise HttpError(405, f"{request.method} not allowed here")
+        raise HttpError(404, f"no route {request.method} {request.path}")
+
+    async def dispatch(
+        self, method: str, path: str, body: Any = None
+    ) -> HttpResponse:
+        """In-process request — what the HTTP shell would deliver."""
+        raw = b"" if body is None else json.dumps(body).encode("utf-8")
+        return await self.handle(
+            HttpRequest(method=method.upper(), path=path, body=raw)
+        )
+
+    def request(
+        self, method: str, path: str, body: Any = None
+    ) -> Tuple[int, Any]:
+        """Synchronous :meth:`dispatch` (scripts, doctests, tests).
+
+        Returns ``(status, payload)``.  Each call runs on a private
+        event loop via :func:`asyncio.run`; the app re-binds its queue
+        and consumers transparently.
+        """
+        response = asyncio.run(self.dispatch(method, path, body))
+        return response.status, response.payload
+
+    # ------------------------------------------------------------------
+    # introspection routes
+    # ------------------------------------------------------------------
+    async def _healthz(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            200,
+            {
+                "status": "ok",
+                "uptime_seconds": round(self.metrics.uptime_seconds, 3),
+                "pending": self.pending,
+                "warm_prepared": self.registry.warm_count,
+            },
+        )
+
+    async def _metrics(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            200,
+            self.metrics.snapshot(
+                cache_hits=self.cache.hits,
+                cache_misses=self.cache.misses,
+                warm_prepared=self.registry.warm_count,
+                warm_capacity=self.registry.capacity,
+                warm_hits=self.registry.warm_hits,
+                warm_evictions=self.registry.evictions,
+                pending=self.pending,
+            ),
+        )
+
+    async def _datasets(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            200,
+            {
+                "graphs": self.registry.names(),
+                "warm": self.registry.warm_names(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # graph uploads
+    # ------------------------------------------------------------------
+    async def _upload(self, request: HttpRequest) -> HttpResponse:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "upload body must be a JSON object")
+        for field in ("name", "g1", "g2"):
+            if not isinstance(body.get(field), str):
+                raise HttpError(
+                    400, f"upload needs a string {field!r} field"
+                )
+        cap = body.get("cap")
+        alpha = _field_float(body, "alpha", 1.0)
+        flip = _field_bool(body, "flip")
+        discrete = _field_bool(body, "discrete")
+        cap_value = None if cap is None else _field_float(body, "cap", 0.0)
+
+        def register() -> PreparedGraph:
+            return self.registry.register_pair(
+                body["name"],
+                body["g1"],
+                body["g2"],
+                alpha=alpha,
+                flip=flip,
+                discrete=discrete,
+                cap=cap_value,
+            )
+
+        prepared = await self._run_blocking(register)
+        return HttpResponse(
+            200,
+            {
+                "name": body["name"],
+                "fingerprint": prepared.fingerprint,
+                "vertices": prepared.gd.num_vertices,
+                "edges": prepared.gd.num_edges,
+                "warm_prepared": self.registry.warm_count,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # compute routes
+    # ------------------------------------------------------------------
+    def _effective_timeout(self, body: Dict[str, Any]) -> Optional[float]:
+        if body.get("timeout") is None:
+            return self.timeout
+        return _field_float(body, "timeout", 0.0)
+
+    async def _serve_query(
+        self,
+        fingerprint: str,
+        params: Dict[str, Any],
+        work: Callable[[], Dict[str, Any]],
+        timeout: Optional[float],
+        rebuild_hit: Callable[[Dict[str, Any]], Dict[str, Any]],
+    ) -> HttpResponse:
+        """The shared compute protocol of ``/v1/solve`` and the replay
+        route: content-addressed cache lookup, guarded execution under
+        the admission queue, cache fill, and the ok / 422 / 504 map.
+
+        *work* produces the full result record; the canonical part
+        (out-of-band keys stripped) is what the cache stores, and
+        *rebuild_hit* turns a stored payload back into a response
+        record on a hit.
+        """
+        start = time.perf_counter()
+        key = cache_key(fingerprint, params)
+        hit = self.cache.get(key)
+        if hit is not None:
+            seconds = time.perf_counter() - start
+            self.metrics.observe_query("ok", seconds)
+            return HttpResponse(
+                200,
+                {
+                    "status": "ok",
+                    "cached": True,
+                    "fingerprint": fingerprint,
+                    "seconds": round(seconds, 6),
+                    "result": rebuild_hit(hit["payload"]),
+                },
+            )
+        try:
+            status, value, _ = await self._submit(
+                lambda: run_guarded(work, timeout), timeout
+            )
+        except ServiceDeadlineError as exc:
+            status, value = "timeout", str(exc)
+        elapsed = time.perf_counter() - start
+        self.metrics.observe_query(status, elapsed)
+        if status == "ok":
+            canonical = {
+                k: v for k, v in value.items() if k not in _OUT_OF_BAND
+            }
+            self.cache.put(
+                key, {"status": "ok", "payload": canonical, "error": None}
+            )
+            return HttpResponse(
+                200,
+                {
+                    "status": "ok",
+                    "cached": False,
+                    "fingerprint": fingerprint,
+                    "seconds": round(elapsed, 6),
+                    "result": value,
+                },
+            )
+        return HttpResponse(
+            504 if status == "timeout" else 422,
+            {
+                "status": status,
+                "fingerprint": fingerprint,
+                "error": value,
+            },
+        )
+
+    async def _solve(self, request: HttpRequest) -> HttpResponse:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "solve body must be a JSON object")
+        ref = body.get("graph")
+        if not isinstance(ref, str):
+            raise HttpError(400, "solve needs a string 'graph' reference")
+        kind = str(body.get("kind", "dcsad"))
+        # Fail bad requests at admission time, not inside a worker —
+        # unknown backend names (UnknownBackendError, a ValueError) and
+        # registered-but-unavailable backends (BackendUnavailableError)
+        # both map to 400.  The *canonical* backend name goes into the
+        # params: aliases ("heap" for "python") must share one cache
+        # entry, and a cached hit must replay the same bytes a fresh
+        # solve of either spelling would produce.
+        backend_name = resolve_backend(
+            str(body.get("backend", "python"))
+        ).name
+        params: Dict[str, Any] = {
+            "kind": kind,
+            "backend": backend_name,
+            "k": _field_int(body, "k", 1),
+            "tol_scale": _field_float(body, "tol_scale", 1e-2),
+        }
+        if kind == "dcsad":
+            params["strategy"] = str(body.get("strategy", "vertices"))
+            if params["strategy"] not in ("vertices", "edges"):
+                raise HttpError(
+                    400, f"unknown removal strategy {params['strategy']!r}"
+                )
+        solve_request = SolveRequest.from_params(kind, params)
+        prepared = await self._run_blocking(
+            lambda: self.registry.resolve(ref)
+        )
+        fingerprint = prepared.fingerprint
+
+        def solve_work() -> Dict[str, Any]:
+            return solve(solve_request, prepared).to_record()
+
+        def rebuild_hit(payload: Dict[str, Any]) -> Dict[str, Any]:
+            record = dict(payload)
+            record["timings"] = {}
+            record["provenance"] = {
+                "backend": backend_name,
+                "fingerprint": fingerprint,
+            }
+            return record
+
+        return await self._serve_query(
+            fingerprint,
+            params,
+            solve_work,
+            self._effective_timeout(body),
+            rebuild_hit,
+        )
+
+    async def _batch(self, request: HttpRequest) -> HttpResponse:
+        body = request.json()
+        records = body.get("queries") if isinstance(body, dict) else body
+        if not isinstance(records, list) or not records:
+            raise HttpError(
+                400,
+                "batch body must be a non-empty JSON array of query "
+                "objects (or {'queries': [...]})",
+            )
+
+        # Network clients may only name *server-published* inputs:
+        # registered graphs and (bounded) dataset references.  The
+        # file-path vocabulary of `repro batch` (g1/g2/events) would
+        # let a remote client make the server read arbitrary local
+        # files; event streams have their own inline-text route.
+        for record in records:
+            if not isinstance(record, dict):
+                raise HttpError(
+                    400, f"query record must be an object: {record!r}"
+                )
+            banned = {"g1", "g2", "events"} & set(record)
+            if banned:
+                raise HttpError(
+                    400,
+                    f"field(s) {sorted(banned)} name server-side files; "
+                    "the HTTP batch route accepts 'graph' and 'dataset' "
+                    "sources only (use /v1/stream/replay for event text)",
+                )
+            if "scale" in record:
+                scale = _field_float(record, "scale", 1.0)
+                if scale > max(1.0, self.registry.scale):
+                    raise HttpError(
+                        400,
+                        f"dataset scale {scale} exceeds this server's "
+                        f"limit of {max(1.0, self.registry.scale)}",
+                    )
+
+        def parse() -> List[BatchQuery]:
+            def resolve_graph(ref: str) -> Any:
+                # NOTE: only the assembled GD is handed to the executor;
+                # the executor re-fingerprints and re-prepares it per
+                # submission (its own per-run tables).  Reusing the warm
+                # PreparedGraph across submissions would need a prepared
+                # table seam in BatchExecutor — a known optimisation.
+                return self.registry.resolve(ref).gd
+
+            return assign_qids(
+                query_from_dict(record, graph_resolver=resolve_graph)
+                for record in records
+            )
+
+        queries: List[BatchQuery] = await self._run_blocking(parse)
+        timeout = (
+            self._effective_timeout(body)
+            if isinstance(body, dict)
+            else self.timeout
+        )
+        executor = BatchExecutor(
+            workers=self.batch_workers,
+            mode=self.batch_mode,
+            cache=self.cache,
+            timeout=timeout,
+        )
+
+        def work() -> List[BatchResult]:
+            return executor.run(queries)
+
+        # The budget is per query (matching `repro batch --timeout`),
+        # and SIGALRM cannot fire in a pool thread, so the enforceable
+        # request deadline is the whole batch's worth of budgets.
+        deadline = None if timeout is None else timeout * len(queries)
+        results = await self._submit(work, deadline)
+        for result in results:
+            self.metrics.observe_query(result.status, result.seconds)
+        stats = executor.stats
+        return HttpResponse(
+            200,
+            {
+                "status": "ok"
+                if all(r.status == "ok" for r in results)
+                else "partial",
+                "results": [json.loads(r.to_json()) for r in results],
+                "stats": {
+                    "queries": stats.queries,
+                    "mode": stats.mode,
+                    "preps_built": stats.preps_built,
+                    "preps_shared": stats.preps_shared,
+                    "cache_hits": stats.cache_hits,
+                    "solved": stats.solved,
+                    "errors": stats.errors,
+                    "timeouts": stats.timeouts,
+                },
+            },
+        )
+
+    async def _stream_replay(self, request: HttpRequest) -> HttpResponse:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "replay body must be a JSON object")
+        text = body.get("events")
+        if not isinstance(text, str) or not text.strip():
+            raise HttpError(
+                400, "replay needs an 'events' field of event-file text"
+            )
+        params: Dict[str, Any] = {
+            "kind": "stream",
+            "window": _field_int(body, "window", 5),
+            "measure": str(body.get("measure", "average_degree")),
+            "policy": str(body.get("policy", "exact")),
+            "warmup": _field_optional_int(body, "warmup"),
+            "threshold": _field_float(body, "threshold", 0.0),
+            "steps": _field_optional_int(body, "steps"),
+            "backend": str(body.get("backend", "python")),
+            "tol_scale": _field_float(body, "tol_scale", 1e-2),
+        }
+        if params["measure"] not in ("average_degree", "affinity"):
+            raise HttpError(400, f"unknown measure {params['measure']!r}")
+        if params["policy"] not in ("exact", "gated"):
+            raise HttpError(400, f"unknown policy {params['policy']!r}")
+
+        def parse() -> Tuple[EventLog, str]:
+            log = read_events(io.StringIO(text))
+            if not log.universe:
+                raise InputMismatchError(
+                    "event log declares no vertices and has no events"
+                )
+            return log, event_log_fingerprint(log)
+
+        log, fingerprint = await self._run_blocking(parse)
+
+        def replay_work() -> Dict[str, Any]:
+            return execute_payload("stream", params, log)
+
+        return await self._serve_query(
+            fingerprint,
+            params,
+            replay_work,
+            self._effective_timeout(body),
+            lambda payload: payload,
+        )
+
+    # ------------------------------------------------------------------
+    # the network face
+    # ------------------------------------------------------------------
+    async def start_server(
+        self, host: str = "127.0.0.1", port: int = 8765
+    ) -> asyncio.AbstractServer:
+        """Bind the HTTP shell; ``port=0`` picks an ephemeral port."""
+        from repro.service.http import serve_http
+
+        await self._ensure_started()
+        return await serve_http(self.handle, host, port)

@@ -1,0 +1,225 @@
+"""A minimal stdlib HTTP/1.1 layer for the query service.
+
+The service deliberately depends on nothing outside the standard
+library, so this module implements the few hundred bytes of HTTP the
+service actually needs — parse one request (request line, headers,
+``Content-Length`` body), hand it to an async handler, write one JSON
+response, close the connection — on top of :mod:`asyncio` streams.
+
+It is not a general web server: no chunked transfer, no keep-alive, no
+TLS.  Requests larger than the configured limits are refused with
+``413``; malformed requests get ``400`` instead of a traceback.  The
+request/response dataclasses double as the in-process testing surface —
+:meth:`repro.service.app.ServiceApp.dispatch` builds an
+:class:`HttpRequest` directly, so every route is testable without a
+socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "serve_http",
+    "write_response",
+]
+
+#: Upload bodies above this are refused with 413 (uploaded edge lists
+#: are text; 32 MiB is far beyond any benchmark graph).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Request line + headers above this are refused outright.
+MAX_HEAD_BYTES = 32 * 1024
+
+_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps to one HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``None`` for an empty body).
+
+        Raises :class:`HttpError` (400) on undecodable bytes or invalid
+        JSON — route handlers never see malformed payloads.
+        """
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class HttpResponse:
+    """One response: a status and a JSON-able payload."""
+
+    status: int
+    payload: Any = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def body_bytes(self) -> bytes:
+        if self.payload is None:
+            return b""
+        return (json.dumps(self.payload, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+
+
+#: The application-side contract: one request in, one response out.
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Parse one request from *reader*.
+
+    Returns ``None`` when the peer closed the connection before sending
+    anything; raises :class:`HttpError` on anything malformed or
+    oversized.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+    return HttpRequest(
+        method=method,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: HttpResponse
+) -> None:
+    """Serialise *response* (JSON body, ``Connection: close``)."""
+    body = response.body_bytes()
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: application/json; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+async def _handle_connection(
+    handler: Handler,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            response = await handler(request)
+        except HttpError as exc:
+            response = HttpResponse(exc.status, {"error": exc.message})
+        except Exception as exc:  # noqa: BLE001 - connection isolation
+            response = HttpResponse(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        await write_response(writer, response)
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+async def serve_http(
+    handler: Handler, host: str, port: int
+) -> asyncio.AbstractServer:
+    """Start an HTTP server feeding *handler*; returns the server.
+
+    ``port=0`` binds an ephemeral port — read the actual one from
+    ``server.sockets[0].getsockname()[1]``.
+    """
+
+    async def connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_connection(handler, reader, writer)
+
+    return await asyncio.start_server(connection, host=host, port=port)

@@ -1,0 +1,137 @@
+"""Service observability: request counters and latency quantiles.
+
+Everything the ``/metrics`` route serves lives here, maintained as
+plain counters — no background threads, no sampling daemons.  Latency
+quantiles come from a bounded ring of the most recent observations
+(:class:`LatencyWindow`), so p50/p95 reflect *current* behaviour and
+memory stays constant however long the service runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+__all__ = ["LatencyWindow", "ServiceMetrics"]
+
+
+class LatencyWindow:
+    """Ring buffer of recent latencies with nearest-rank quantiles."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._ring: List[float] = []
+        self._next = 0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(seconds)
+        else:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the retained window (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._ring:
+            return 0.0
+        ordered = sorted(self._ring)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+class ServiceMetrics:
+    """Counters for one service process, snapshot on demand."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.requests_by_route: Dict[str, int] = {}
+        self.responses_by_status: Dict[int, int] = {}
+        #: outcomes of compute requests (solve / batch / replay)
+        self.queries_ok = 0
+        self.queries_error = 0
+        self.queries_timeout = 0
+        #: compute requests refused at admission (429)
+        self.rejected = 0
+        #: end-to-end latency of compute requests (admission wait
+        #: included — it is what the client experiences)
+        self.latency = LatencyWindow()
+
+    def observe_request(self, route: str, status: int) -> None:
+        """Count one handled request against its route and status."""
+        self.requests_total += 1
+        self.requests_by_route[route] = (
+            self.requests_by_route.get(route, 0) + 1
+        )
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+
+    def observe_query(self, status: str, seconds: float) -> None:
+        """Count one compute outcome (``ok`` / ``error`` / ``timeout``)."""
+        if status == "ok":
+            self.queries_ok += 1
+        elif status == "timeout":
+            self.queries_timeout += 1
+        else:
+            self.queries_error += 1
+        self.latency.add(seconds)
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started
+
+    def snapshot(
+        self,
+        cache_hits: int,
+        cache_misses: int,
+        warm_prepared: int,
+        warm_capacity: int,
+        warm_hits: int,
+        warm_evictions: int,
+        pending: int,
+    ) -> Dict[str, Any]:
+        """The JSON the ``/metrics`` route serves."""
+        lookups = cache_hits + cache_misses
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "requests": {
+                "total": self.requests_total,
+                "by_route": dict(sorted(self.requests_by_route.items())),
+                "by_status": {
+                    str(status): count
+                    for status, count in sorted(
+                        self.responses_by_status.items()
+                    )
+                },
+            },
+            "queries": {
+                "ok": self.queries_ok,
+                "error": self.queries_error,
+                "timeout": self.queries_timeout,
+                "rejected": self.rejected,
+                "pending": pending,
+            },
+            "cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": (cache_hits / lookups) if lookups else 0.0,
+            },
+            "warm": {
+                "prepared": warm_prepared,
+                "capacity": warm_capacity,
+                "hits": warm_hits,
+                "evictions": warm_evictions,
+            },
+            "latency": {
+                "observations": self.latency.count,
+                "p50_seconds": self.latency.quantile(0.50),
+                "p95_seconds": self.latency.quantile(0.95),
+            },
+        }

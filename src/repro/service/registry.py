@@ -1,0 +1,206 @@
+"""The service's graph registry: named inputs -> warm ``PreparedGraph``.
+
+A long-running query service lives or dies by what it can keep warm:
+resolving a dataset name means synthesising a graph, and the first
+query on any graph pays for ``GD+``, the CSR freezes and the content
+fingerprint.  :class:`GraphRegistry` makes each of those a
+once-per-name cost:
+
+* **Dataset references** — any Table II name from
+  :func:`repro.datasets.registry.entry_names` (e.g.
+  ``"DBLP/Weighted/Emerging"``), built at the registry's ``scale`` on
+  first use.
+* **Uploaded pairs** — edge-list text for ``(G1, G2)`` registered under
+  a caller-chosen name via :meth:`register_pair`; the assembled
+  difference graph is retained, so an evicted preparation can be
+  rebuilt without re-uploading.
+
+Warm preparations live in an LRU of ``capacity`` entries: each holds a
+fingerprinted :class:`~repro.engine.prepared.PreparedGraph` (``GD+`` +
+CSRs built lazily, shared across every request that names it).  The
+LRU bounds resident memory however many datasets the traffic touches;
+``warm_hits`` / ``evictions`` feed the ``/metrics`` route.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.core.difference import assemble_difference
+from repro.engine.prepared import PreparedGraph
+from repro.exceptions import InputMismatchError
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list
+
+__all__ = ["GraphRegistry"]
+
+
+class GraphRegistry:
+    """Named graphs resolved once each into a warm LRU of preparations.
+
+    Thread-safe: the service resolves and uploads from pool threads
+    (to keep the event loop responsive), so every mutation of the LRU
+    and the upload table happens under one lock — concurrent requests
+    for the same name build its preparation once, not twice.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        scale: float = 0.25,
+        max_uploads: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("warm capacity must be at least 1")
+        if max_uploads < 1:
+            raise ValueError("max_uploads must be at least 1")
+        self.capacity = capacity
+        self.scale = scale
+        #: bound on retained uploads — named graphs are server state a
+        #: client creates, so they must not grow memory without limit
+        self.max_uploads = max_uploads
+        #: name -> warm preparation, most recently used last
+        self._warm: "OrderedDict[str, PreparedGraph]" = OrderedDict()
+        #: uploaded difference graphs by name (eviction-safe source)
+        self._uploads: Dict[str, Graph] = {}
+        self._lock = threading.RLock()
+        self.resolutions = 0
+        self.warm_hits = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # uploads
+    # ------------------------------------------------------------------
+    def register_pair(
+        self,
+        name: str,
+        g1_text: str,
+        g2_text: str,
+        alpha: float = 1.0,
+        flip: bool = False,
+        discrete: bool = False,
+        cap: Optional[float] = None,
+    ) -> PreparedGraph:
+        """Parse an uploaded ``(G1, G2)`` edge-list pair and warm it.
+
+        The universes are aligned the way :func:`repro.graph.io.read_pair`
+        aligns file pairs, the difference graph is assembled with the
+        given transform, and the resulting preparation enters the warm
+        cache under *name* (replacing any previous upload of that name).
+        """
+        if not name or any(ch.isspace() for ch in name):
+            raise InputMismatchError(
+                f"graph name {name!r} must be non-empty without whitespace"
+            )
+        if "/" in name:
+            # "/" is the dataset-reference namespace (Data/Setting/GDType);
+            # keeping uploads out of it means a name is never ambiguous.
+            raise InputMismatchError(
+                f"graph name {name!r} may not contain '/' "
+                "(reserved for dataset references)"
+            )
+        g1 = read_edge_list(io.StringIO(g1_text))
+        g2 = read_edge_list(io.StringIO(g2_text))
+        for vertex in g1.vertices():
+            g2.add_vertex(vertex)
+        for vertex in g2.vertices():
+            g1.add_vertex(vertex)
+        gd = assemble_difference(
+            g1, g2, alpha=alpha, flipped=flip, discrete=discrete, cap=cap
+        )
+        prepared = PreparedGraph(gd)
+        prepared.fingerprint  # noqa: B018 - eagerly pay the content hash
+        with self._lock:
+            if (
+                name not in self._uploads
+                and len(self._uploads) >= self.max_uploads
+            ):
+                raise InputMismatchError(
+                    f"upload limit reached ({self.max_uploads} named "
+                    "graphs); forget() one before registering more"
+                )
+            self._uploads[name] = gd
+            self._warm.pop(name, None)
+            self._admit(name, prepared)
+        return prepared
+
+    def forget(self, name: str) -> bool:
+        """Drop an uploaded graph (and its warm entry); True if present."""
+        with self._lock:
+            self._warm.pop(name, None)
+            return self._uploads.pop(name, None) is not None
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ref: str) -> PreparedGraph:
+        """The warm preparation of *ref*, building it on first use.
+
+        *ref* is an uploaded name or a dataset reference; unknown names
+        raise ``KeyError`` listing the resolvable vocabulary.  Cold
+        builds run *outside* the lock so a slow synthesis never stalls
+        concurrent warm hits; if two requests race the same cold name,
+        the loser discards its build and adopts the winner's (the warm
+        entry stays unique).
+        """
+        with self._lock:
+            self.resolutions += 1
+            warm = self._warm.get(ref)
+            if warm is not None:
+                self._warm.move_to_end(ref)
+                self.warm_hits += 1
+                return warm
+            upload = self._uploads.get(ref)
+        if upload is not None:
+            prepared = PreparedGraph(upload)
+        else:
+            from repro.datasets.registry import build_named
+
+            try:
+                entry = build_named(ref, scale=self.scale)
+            except KeyError:
+                raise KeyError(
+                    f"unknown graph {ref!r}; resolvable names: "
+                    f"{self.names()}"
+                ) from None
+            prepared = PreparedGraph(entry.graph)
+        prepared.fingerprint  # noqa: B018 - cache keys need the identity
+        with self._lock:
+            existing = self._warm.get(ref)
+            if existing is not None:
+                self._warm.move_to_end(ref)
+                return existing
+            self._admit(ref, prepared)
+        return prepared
+
+    def names(self) -> List[str]:
+        """Every resolvable name: uploads first, then the dataset rows."""
+        from repro.datasets.registry import entry_names
+
+        with self._lock:
+            uploads = sorted(self._uploads)
+        return uploads + entry_names()
+
+    # ------------------------------------------------------------------
+    # the LRU
+    # ------------------------------------------------------------------
+    @property
+    def warm_count(self) -> int:
+        """How many preparations are currently resident."""
+        return len(self._warm)
+
+    def warm_names(self) -> List[str]:
+        """Resident names, least recently used first."""
+        with self._lock:
+            return list(self._warm)
+
+    def _admit(self, name: str, prepared: PreparedGraph) -> None:
+        with self._lock:
+            self._warm[name] = prepared
+            self._warm.move_to_end(name)
+            while len(self._warm) > self.capacity:
+                self._warm.popitem(last=False)
+                self.evictions += 1

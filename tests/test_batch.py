@@ -795,3 +795,150 @@ class TestBatchCLI:
         path.write_text("[]")
         with pytest.raises(SystemExit):
             main(["batch", str(path)])
+
+
+# ----------------------------------------------------------------------
+# cache-key canonicalisation (numerically equal params, one entry)
+# ----------------------------------------------------------------------
+class TestCacheKeyCanonicalisation:
+    def test_int_valued_floats_share_a_key(self):
+        assert cache_key("fp", {"alpha": 1}) == cache_key("fp", {"alpha": 1.0})
+        assert cache_key("fp", {"k": 3}) == cache_key("fp", {"k": 3.0})
+        assert cache_key(
+            "fp", {"nested": {"cap": 2.0, "list": [0.0, 1.5]}}
+        ) == cache_key("fp", {"nested": {"cap": 2, "list": [0, 1.5]}})
+
+    def test_distinct_values_still_distinct(self):
+        assert cache_key("fp", {"alpha": 1.0}) != cache_key(
+            "fp", {"alpha": 1.5}
+        )
+        # Booleans are not coerced into the integer line.
+        assert cache_key("fp", {"flip": True}) != cache_key("fp", {"flip": 1})
+
+    def test_non_finite_params_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                cache_key("fp", {"alpha": bad})
+            with pytest.raises(ValueError):
+                cache_key("fp", {"nested": [bad]})
+
+    def test_canonical_params_preserves_structure(self):
+        from repro.batch import canonical_params
+
+        original = {"a": 2.0, "b": [1.0, 0.25], "c": {"d": True}, "e": "x"}
+        assert canonical_params(original) == {
+            "a": 2, "b": [1, 0.25], "c": {"d": True}, "e": "x"
+        }
+        assert isinstance(canonical_params(2.0), int)
+        assert original["a"] == 2.0  # input untouched
+
+    def test_executor_hits_across_numeric_spellings(self, pair):
+        """``tol_scale=1`` and ``tol_scale=1.0`` hit the same entry."""
+        source = GraphSource.from_pair(*pair)
+        cache = ResultCache()
+        first = BatchExecutor(cache=cache)
+        (a,) = first.run(
+            [BatchQuery(kind="dcsga", source=source, tol_scale=1.0)]
+        )
+        second = BatchExecutor(cache=cache)
+        (b,) = second.run(
+            [BatchQuery(kind="dcsga", source=source, tol_scale=1)]
+        )
+        assert a.status == b.status == "ok"
+        assert not a.cached and b.cached
+        assert second.stats.cache_hits == 1 and second.stats.solved == 0
+        assert a.payload == b.payload
+
+
+# ----------------------------------------------------------------------
+# SIGALRM handler restoration in the degrade path
+# ----------------------------------------------------------------------
+class TestAlarmHandlerRestoration:
+    def test_handler_survives_setitimer_failure(self, monkeypatch):
+        """If arming the timer fails after the handler swap, the host's
+        handler must be restored — not leak the query-timeout handler."""
+        import signal
+
+        from repro.batch.executor import run_guarded
+
+        def sentinel(signum, frame):  # pragma: no cover - never fired
+            raise AssertionError("sentinel must not fire")
+
+        def broken_setitimer(which, seconds, interval=0.0):
+            raise ValueError("simulated non-main-thread race")
+
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            monkeypatch.setattr(signal, "setitimer", broken_setitimer)
+            status, value, _ = run_guarded(lambda: {"x": 1}, timeout=5.0)
+            assert (status, value) == ("ok", {"x": 1})
+            # The degrade path must have put the sentinel back.
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+        finally:
+            monkeypatch.undo()
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_handler_restored_after_normal_run(self):
+        import signal
+
+        from repro.batch.executor import run_guarded
+
+        def sentinel(signum, frame):  # pragma: no cover - never fired
+            raise AssertionError("sentinel must not fire")
+
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            status, _, _ = run_guarded(lambda: {"ok": True}, timeout=5.0)
+            assert status == "ok"
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# disk entries are canonical bytes
+# ----------------------------------------------------------------------
+class TestCacheByteIdentity:
+    def test_disk_entry_is_canonical_text(self, tmp_path):
+        from repro.batch import canonical_text
+
+        cache = ResultCache(tmp_path / "cache")
+        entry = {"status": "ok", "payload": {"b": [1, 2], "a": 0.5}}
+        cache.put("key", entry)
+        on_disk = (tmp_path / "cache" / "key.json").read_text(
+            encoding="utf-8"
+        )
+        assert on_disk == canonical_text(entry)
+        assert " " not in on_disk  # compact separators, no padding
+
+    def test_disk_round_trip_byte_identical_to_fresh_solve(
+        self, tmp_path, pair
+    ):
+        """The documented contract: a hit replays the exact bytes a
+        fresh solve would produce, across a disk round-trip."""
+        source = GraphSource.from_pair(*pair)
+        query = BatchQuery(kind="dcsad", source=source, qid="q")
+        (fresh,) = BatchExecutor(
+            cache=ResultCache(tmp_path / "cache")
+        ).run([query])
+        # A separate cache instance reads the entry back from disk.
+        (replayed,) = BatchExecutor(
+            cache=ResultCache(tmp_path / "cache")
+        ).run([query])
+        assert not fresh.cached and replayed.cached
+        assert replayed.canonical_json() == fresh.canonical_json()
+
+    def test_non_finite_param_fails_only_its_query(self, pair):
+        """A NaN parameter is a per-query error, not a submission abort."""
+        source = GraphSource.from_pair(*pair)
+        bad = BatchQuery(
+            kind="dcsga", source=source, qid="bad",
+            tol_scale=float("nan"),
+        )
+        good = BatchQuery(kind="dcsga", source=source, qid="good")
+        executor = BatchExecutor()
+        results = executor.run([bad, good])
+        assert results[0].status == "error"
+        assert "non-finite" in results[0].error
+        assert results[1].status == "ok"
+        assert executor.stats.errors == 1

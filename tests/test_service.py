@@ -1,0 +1,869 @@
+"""Tests for the long-running query service (`repro/service/`).
+
+Most routes are exercised in-process through
+:meth:`~repro.service.app.ServiceApp.request` — the HTTP shell is a
+thin wrapper over the same :meth:`handle` — with one end-to-end socket
+test covering the shell itself.  The envelope contract under test: a
+``/v1/solve`` result record equals the engine envelope's
+``to_record()`` byte-for-byte (minus out-of-band timings), which is
+exactly what ``repro dcsad --json`` prints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import time
+
+import pytest
+
+from repro.core.difference import assemble_difference
+from repro.engine.envelope import SolveRequest, solve
+from repro.engine.prepared import PreparedGraph
+from repro.exceptions import InputMismatchError
+from repro.graph.generators import random_signed_graph
+from repro.graph.io import write_edge_list
+from repro.service import GraphRegistry, LatencyWindow, ServiceApp
+from repro.stream.events import EdgeEvent, EventLog, write_events
+
+
+# ----------------------------------------------------------------------
+# shared inputs
+# ----------------------------------------------------------------------
+def _edge_text(graph) -> str:
+    buffer = io.StringIO()
+    write_edge_list(graph, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture
+def pair_texts():
+    names = {i: f"v{i:02d}" for i in range(30)}
+    g1 = random_signed_graph(30, 0.2, seed=5).positive_part().relabeled(names)
+    g2 = random_signed_graph(30, 0.25, seed=6).positive_part().relabeled(names)
+    for v in g1.vertices():
+        g2.add_vertex(v)
+    for v in g2.vertices():
+        g1.add_vertex(v)
+    return _edge_text(g1), _edge_text(g2), g1, g2
+
+
+@pytest.fixture
+def app(pair_texts):
+    app = ServiceApp(scale=0.0)
+    g1_text, g2_text, _, _ = pair_texts
+    status, _ = app.request(
+        "POST",
+        "/v1/graphs",
+        {"name": "uploaded", "g1": g1_text, "g2": g2_text},
+    )
+    assert status == 200
+    return app
+
+
+@pytest.fixture
+def events_text():
+    events = [
+        EdgeEvent(t, "a", "b", 1.0 + (4.0 if 6 <= t <= 7 else 0.0))
+        for t in range(10)
+    ]
+    log = EventLog(events=events, declared={"a", "b", "c"})
+    buffer = io.StringIO()
+    write_events(log, buffer)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# the graph registry LRU
+# ----------------------------------------------------------------------
+class TestGraphRegistry:
+    def test_dataset_resolution_and_warm_hits(self):
+        registry = GraphRegistry(capacity=4, scale=0.0)
+        first = registry.resolve("DM/-/Emerging")
+        second = registry.resolve("DM/-/Emerging")
+        assert first is second  # the warm preparation is shared
+        assert registry.warm_hits == 1
+        assert registry.resolutions == 2
+        assert registry.warm_count == 1
+
+    def test_unknown_name_lists_vocabulary(self):
+        registry = GraphRegistry(scale=0.0)
+        with pytest.raises(KeyError, match="resolvable names"):
+            registry.resolve("no/such/graph")
+
+    def test_lru_evicts_least_recently_used(self, pair_texts):
+        registry = GraphRegistry(capacity=2, scale=0.0)
+        g1_text, g2_text, _, _ = pair_texts
+        registry.register_pair("up", g1_text, g2_text)
+        registry.resolve("DM/-/Emerging")
+        registry.resolve("up")  # refresh: DM is now the oldest
+        registry.resolve("DM/-/Disappearing")  # evicts DM/-/Emerging
+        assert registry.evictions == 1
+        assert registry.warm_names() == ["up", "DM/-/Disappearing"]
+        # An evicted upload is rebuilt from its retained source.
+        registry.resolve("up")
+        assert registry.resolve("up").gd.num_vertices == 30
+
+    def test_upload_name_validation(self, pair_texts):
+        registry = GraphRegistry(scale=0.0)
+        g1_text, g2_text, _, _ = pair_texts
+        for bad in ("", "has space", "a/b"):
+            with pytest.raises(InputMismatchError):
+                registry.register_pair(bad, g1_text, g2_text)
+
+    def test_upload_transform_changes_fingerprint(self, pair_texts):
+        registry = GraphRegistry(scale=0.0)
+        g1_text, g2_text, g1, g2 = pair_texts
+        plain = registry.register_pair("plain", g1_text, g2_text)
+        flipped = registry.register_pair(
+            "flipped", g1_text, g2_text, flip=True
+        )
+        assert plain.fingerprint != flipped.fingerprint
+        expected = PreparedGraph(assemble_difference(g1, g2)).fingerprint
+        assert plain.fingerprint == expected
+
+    def test_forget(self, pair_texts):
+        registry = GraphRegistry(scale=0.0)
+        g1_text, g2_text, _, _ = pair_texts
+        registry.register_pair("up", g1_text, g2_text)
+        assert registry.forget("up")
+        assert not registry.forget("up")
+        with pytest.raises(KeyError):
+            registry.resolve("up")
+
+
+# ----------------------------------------------------------------------
+# introspection routes
+# ----------------------------------------------------------------------
+class TestIntrospectionRoutes:
+    def test_healthz(self, app):
+        status, body = app.request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["warm_prepared"] == 1  # the uploaded pair
+
+    def test_datasets_lists_uploads_and_registry(self, app):
+        status, body = app.request("GET", "/v1/datasets")
+        assert status == 200
+        assert "uploaded" in body["graphs"]
+        assert "DBLP/Weighted/Emerging" in body["graphs"]
+        assert body["warm"] == ["uploaded"]
+
+    def test_metrics_counts_requests_and_cache(self, app):
+        app.request("POST", "/v1/solve", {"graph": "uploaded"})
+        app.request("POST", "/v1/solve", {"graph": "uploaded"})
+        status, body = app.request("GET", "/metrics")
+        assert status == 200
+        assert body["requests"]["by_route"]["/v1/solve"] == 2
+        assert body["queries"]["ok"] == 2
+        assert body["cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert body["warm"]["prepared"] == 1
+        assert body["latency"]["observations"] == 2
+        assert body["latency"]["p95_seconds"] >= body["latency"]["p50_seconds"]
+
+    def test_unknown_route_and_wrong_method(self, app):
+        assert app.request("GET", "/nope")[0] == 404
+        assert app.request("GET", "/v1/solve")[0] == 405
+        assert app.request("POST", "/healthz")[0] == 405
+
+
+# ----------------------------------------------------------------------
+# the solve route
+# ----------------------------------------------------------------------
+class TestSolveRoute:
+    def test_solve_record_matches_engine_envelope(self, app, pair_texts):
+        """The service's result record is the engine's ``to_record()``
+        — canonical payload byte-identical, only timings out of band.
+
+        The expected graph is re-parsed from the same uploaded text
+        (what ``repro dcsad --json`` would read from files): float
+        summation order follows construction order, so byte-identity
+        holds between equal construction paths.
+        """
+        from repro.graph.io import read_edge_list
+
+        g1_text, g2_text, _, _ = pair_texts
+        g1 = read_edge_list(io.StringIO(g1_text))
+        g2 = read_edge_list(io.StringIO(g2_text))
+        for v in g1.vertices():
+            g2.add_vertex(v)
+        for v in g2.vertices():
+            g1.add_vertex(v)
+        for kind, measure in (("dcsad", "average_degree"),
+                              ("dcsga", "affinity")):
+            status, body = app.request(
+                "POST", "/v1/solve", {"graph": "uploaded", "kind": kind}
+            )
+            assert status == 200 and body["status"] == "ok"
+            prepared = PreparedGraph(assemble_difference(g1, g2))
+            prepared.fingerprint
+            expected = solve(SolveRequest(measure=measure), prepared)
+            strip = lambda r: {
+                k: v for k, v in r.items() if k != "timings"
+            }
+            assert json.dumps(
+                strip(body["result"]), sort_keys=True
+            ) == json.dumps(strip(expected.to_record()), sort_keys=True)
+            assert body["fingerprint"] == prepared.fingerprint
+
+    def test_cached_hit_is_byte_identical(self, app):
+        _, first = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "kind": "dcsga"}
+        )
+        _, second = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "kind": "dcsga"}
+        )
+        assert not first["cached"] and second["cached"]
+        strip = lambda r: {k: v for k, v in r.items() if k != "timings"}
+        assert strip(second["result"]) == strip(first["result"])
+
+    def test_numeric_spellings_share_the_cache(self, app):
+        _, first = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "k": 2}
+        )
+        _, second = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "k": 2.0}
+        )
+        assert not first["cached"] and second["cached"]
+
+    def test_top_k(self, app):
+        status, body = app.request(
+            "POST",
+            "/v1/solve",
+            {"graph": "uploaded", "kind": "dcsad", "k": 2},
+        )
+        assert status == 200
+        assert len(body["result"]["detail"]["results"]) <= 2
+
+    def test_dataset_reference(self):
+        app = ServiceApp(scale=0.0)
+        status, body = app.request(
+            "POST", "/v1/solve", {"graph": "DM/-/Emerging"}
+        )
+        assert status == 200 and body["status"] == "ok"
+
+    def test_validation_errors(self, app):
+        assert app.request("POST", "/v1/solve", [1, 2])[0] == 400
+        assert app.request("POST", "/v1/solve", {})[0] == 400
+        assert (
+            app.request(
+                "POST", "/v1/solve", {"graph": "uploaded", "kind": "nope"}
+            )[0]
+            == 400
+        )
+        assert (
+            app.request(
+                "POST",
+                "/v1/solve",
+                {"graph": "uploaded", "backend": "no-such-backend"},
+            )[0]
+            == 400
+        )
+        assert (
+            app.request(
+                "POST", "/v1/solve", {"graph": "uploaded", "k": 1.5}
+            )[0]
+            == 400
+        )
+        assert (
+            app.request(
+                "POST",
+                "/v1/solve",
+                {"graph": "uploaded", "kind": "dcsad", "strategy": "nope"},
+            )[0]
+            == 400
+        )
+
+    def test_unknown_graph_is_404(self, app):
+        status, body = app.request(
+            "POST", "/v1/solve", {"graph": "missing"}
+        )
+        assert status == 404
+        assert "missing" in body["error"]
+
+    def test_timeout_answers_504(self, app, monkeypatch):
+        import repro.service.app as app_module
+
+        def slow_solve(request, prepared):
+            time.sleep(0.4)
+            raise AssertionError("deadline must answer first")
+
+        monkeypatch.setattr(app_module, "solve", slow_solve)
+        start = time.perf_counter()
+        status, body = app.request(
+            "POST",
+            "/v1/solve",
+            {"graph": "uploaded", "kind": "dcsga", "timeout": 0.05},
+        )
+        elapsed = time.perf_counter() - start
+        assert status == 504
+        assert body["status"] == "timeout"
+        assert elapsed < 0.4  # answered before the solve finished
+        assert app.metrics.queries_timeout == 1
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_overflow_answers_429(self, app, monkeypatch):
+        import repro.service.app as app_module
+
+        real_solve = app_module.solve
+
+        def slow_solve(request, prepared):
+            time.sleep(0.3)
+            return real_solve(request, prepared)
+
+        monkeypatch.setattr(app_module, "solve", slow_solve)
+        app.max_pending = 1
+
+        async def main():
+            # Two concurrent requests: one occupies the single worker,
+            # one fills the queue; the third must be refused.
+            first = asyncio.ensure_future(
+                app.dispatch(
+                    "POST", "/v1/solve", {"graph": "uploaded", "k": 2}
+                )
+            )
+            await asyncio.sleep(0.05)  # consumer picks the first job up
+            second = asyncio.ensure_future(
+                app.dispatch(
+                    "POST", "/v1/solve", {"graph": "uploaded", "k": 3}
+                )
+            )
+            await asyncio.sleep(0.05)  # second job now fills the queue
+            third = await app.dispatch(
+                "POST", "/v1/solve", {"graph": "uploaded", "k": 4}
+            )
+            responses = await asyncio.gather(first, second)
+            return [r.status for r in responses], third
+
+        statuses, rejected = asyncio.run(main())
+        assert statuses == [200, 200]
+        assert rejected.status == 429
+        assert "Retry-After" in rejected.headers
+        assert app.metrics.rejected == 1
+
+    def test_rejections_counted_in_metrics(self, app):
+        app.metrics.rejected = 3
+        _, body = app.request("GET", "/metrics")
+        assert body["queries"]["rejected"] == 3
+
+
+# ----------------------------------------------------------------------
+# batch and replay routes
+# ----------------------------------------------------------------------
+class TestBatchRoute:
+    def test_graph_refs_and_dedup(self, app):
+        status, body = app.request(
+            "POST",
+            "/v1/batch",
+            {
+                "queries": [
+                    {"kind": "dcsad", "graph": "uploaded"},
+                    {"kind": "dcsga", "graph": "uploaded"},
+                    {"kind": "dcsad", "graph": "uploaded"},
+                ]
+            },
+        )
+        assert status == 200 and body["status"] == "ok"
+        assert [r["status"] for r in body["results"]] == ["ok"] * 3
+        assert body["stats"]["preps_built"] == 1
+        assert body["stats"]["cache_hits"] == 1  # the duplicate dcsad
+
+    def test_bare_array_body(self, app):
+        status, body = app.request(
+            "POST", "/v1/batch", [{"kind": "dcsad", "graph": "uploaded"}]
+        )
+        assert status == 200
+        assert body["results"][0]["qid"] == "q0"
+
+    def test_batch_shares_the_solve_cache(self, app):
+        app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "kind": "dcsga"}
+        )
+        status, body = app.request(
+            "POST", "/v1/batch", [{"kind": "dcsga", "graph": "uploaded"}]
+        )
+        assert status == 200
+        assert body["results"][0]["cached"] is True
+
+    def test_partial_status_on_bad_query(self, app):
+        status, body = app.request(
+            "POST",
+            "/v1/batch",
+            [
+                {"kind": "dcsad", "graph": "uploaded"},
+                # Prep-level failure: the registry builder rejects the
+                # transform for dataset sources — per-query error.
+                {
+                    "kind": "dcsad",
+                    "dataset": "DM/-/Emerging",
+                    "alpha": 0.5,
+                },
+            ],
+        )
+        assert status == 200
+        assert body["status"] == "partial"
+        assert body["results"][0]["status"] == "ok"
+        assert body["results"][1]["status"] == "error"
+
+    def test_file_and_event_sources_rejected(self, app):
+        """Network clients must not be able to make the server read
+        local files — the CLI's path vocabulary stops at the socket."""
+        for record in (
+            {"kind": "dcsad", "g1": "/etc/hostname", "g2": "/etc/hostname"},
+            {"kind": "stream", "events": "/etc/hostname"},
+        ):
+            status, body = app.request("POST", "/v1/batch", [record])
+            assert status == 400
+            assert "server-side files" in body["error"]
+
+    def test_oversized_dataset_scale_rejected(self, app):
+        status, body = app.request(
+            "POST",
+            "/v1/batch",
+            [{"kind": "dcsad", "dataset": "DM/-/Emerging", "scale": 100}],
+        )
+        assert status == 400
+        assert "scale" in body["error"]
+
+    def test_unknown_graph_ref_is_404(self, app):
+        assert (
+            app.request(
+                "POST", "/v1/batch", [{"kind": "dcsad", "graph": "ghost"}]
+            )[0]
+            == 404
+        )
+
+    def test_empty_batch_rejected(self, app):
+        assert app.request("POST", "/v1/batch", [])[0] == 400
+        assert app.request("POST", "/v1/batch", {"queries": []})[0] == 400
+
+
+class TestStreamReplayRoute:
+    def test_replay_and_cache(self, app, events_text):
+        request = {"events": events_text, "window": 3, "threshold": 1.0}
+        status, body = app.request("POST", "/v1/stream/replay", request)
+        assert status == 200 and body["status"] == "ok"
+        assert body["result"]["alerts"]
+        assert body["result"]["stats"]["steps"] == 10
+        status, again = app.request("POST", "/v1/stream/replay", request)
+        assert again["cached"] is True
+        assert again["result"] == body["result"]
+
+    def test_replay_matches_cli_replay_semantics(self, app, events_text):
+        from repro.stream.engine import replay_events
+        from repro.stream.events import read_events
+
+        log = read_events(io.StringIO(events_text))
+        alerts, _ = replay_events(
+            log,
+            n_steps=None,
+            window=3,
+            measure="average_degree",
+            warmup=None,
+            backend="python",
+            policy="exact",
+            min_score=1.0,
+            tol_scale=1e-2,
+        )
+        _, body = app.request(
+            "POST",
+            "/v1/stream/replay",
+            {"events": events_text, "window": 3, "threshold": 1.0},
+        )
+        served = body["result"]["alerts"]
+        assert [a["step"] for a in served] == [a.step for a in alerts]
+        assert [a["score"] for a in served] == [a.score for a in alerts]
+
+    def test_validation(self, app):
+        assert app.request("POST", "/v1/stream/replay", {})[0] == 400
+        assert (
+            app.request("POST", "/v1/stream/replay", {"events": "  "})[0]
+            == 400
+        )
+        assert (
+            app.request(
+                "POST",
+                "/v1/stream/replay",
+                {"events": "0 a b 1.0\n", "policy": "nope"},
+            )[0]
+            == 400
+        )
+
+
+# ----------------------------------------------------------------------
+# uploads
+# ----------------------------------------------------------------------
+class TestUploadRoute:
+    def test_upload_reports_shape(self, pair_texts):
+        app = ServiceApp(scale=0.0)
+        g1_text, g2_text, _, _ = pair_texts
+        status, body = app.request(
+            "POST",
+            "/v1/graphs",
+            {"name": "pair", "g1": g1_text, "g2": g2_text, "alpha": 0.5},
+        )
+        assert status == 200
+        assert body["vertices"] == 30
+        assert body["warm_prepared"] == 1
+        assert len(body["fingerprint"]) == 64
+
+    def test_upload_validation(self, pair_texts):
+        app = ServiceApp(scale=0.0)
+        g1_text, g2_text, _, _ = pair_texts
+        assert app.request("POST", "/v1/graphs", [1])[0] == 400
+        assert (
+            app.request("POST", "/v1/graphs", {"name": "x", "g1": g1_text})[
+                0
+            ]
+            == 400
+        )
+        assert (
+            app.request(
+                "POST",
+                "/v1/graphs",
+                {"name": "a/b", "g1": g1_text, "g2": g2_text},
+            )[0]
+            == 400
+        )
+        assert (
+            app.request(
+                "POST",
+                "/v1/graphs",
+                {"name": "x", "g1": "not an edge list", "g2": g2_text},
+            )[0]
+            == 400
+        )
+
+
+# ----------------------------------------------------------------------
+# metrics helpers
+# ----------------------------------------------------------------------
+class TestLatencyWindow:
+    def test_quantiles_nearest_rank(self):
+        window = LatencyWindow(capacity=100)
+        for value in range(1, 101):
+            window.add(float(value))
+        assert window.quantile(0.0) == 1.0
+        assert window.quantile(0.50) == 51.0
+        assert window.quantile(0.95) == 96.0
+        assert window.quantile(1.0) == 100.0
+
+    def test_ring_keeps_recent(self):
+        window = LatencyWindow(capacity=4)
+        for value in (10.0, 10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+            window.add(value)
+        assert window.quantile(0.95) == 1.0  # old tens rolled out
+        assert window.count == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyWindow().quantile(1.5)
+
+
+# ----------------------------------------------------------------------
+# the HTTP shell, end to end
+# ----------------------------------------------------------------------
+class TestHttpShell:
+    def test_socket_round_trip(self, pair_texts):
+        import urllib.error
+        import urllib.request
+
+        g1_text, g2_text, _, _ = pair_texts
+        app = ServiceApp(scale=0.0)
+
+        async def main():
+            server = await app.start_server(port=0)
+            port = server.sockets[0].getsockname()[1]
+            loop = asyncio.get_running_loop()
+
+            def client():
+                base = f"http://127.0.0.1:{port}"
+                with urllib.request.urlopen(f"{base}/healthz") as r:
+                    health = json.loads(r.read())
+                upload = urllib.request.Request(
+                    f"{base}/v1/graphs",
+                    data=json.dumps(
+                        {"name": "pair", "g1": g1_text, "g2": g2_text}
+                    ).encode("utf-8"),
+                    method="POST",
+                )
+                with urllib.request.urlopen(upload) as r:
+                    assert r.status == 200
+                solve_req = urllib.request.Request(
+                    f"{base}/v1/solve",
+                    data=json.dumps(
+                        {"graph": "pair", "kind": "dcsad"}
+                    ).encode("utf-8"),
+                    method="POST",
+                )
+                with urllib.request.urlopen(solve_req) as r:
+                    answer = json.loads(r.read())
+                try:
+                    urllib.request.urlopen(f"{base}/missing")
+                    raise AssertionError("must 404")
+                except urllib.error.HTTPError as exc:
+                    not_found = exc.code
+                with urllib.request.urlopen(f"{base}/metrics") as r:
+                    metrics = json.loads(r.read())
+                return health, answer, not_found, metrics
+
+            try:
+                return await loop.run_in_executor(None, client)
+            finally:
+                server.close()
+                await server.wait_closed()
+                await app.aclose()
+
+        health, answer, not_found, metrics = asyncio.run(main())
+        assert health["status"] == "ok"
+        assert answer["status"] == "ok"
+        assert answer["result"]["kind"] == "dcsad"
+        assert not_found == 404
+        assert metrics["requests"]["total"] == 4
+        assert metrics["requests"]["by_status"]["404"] == 1
+
+    def test_malformed_http_payloads(self, app):
+        from repro.service.http import HttpError, HttpRequest
+
+        bad = HttpRequest(method="POST", path="/v1/solve", body=b"{nope")
+        with pytest.raises(HttpError) as err:
+            bad.json()
+        assert err.value.status == 400
+
+    def test_serve_cli_parser(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--timeout", "5"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.timeout == 5.0
+
+
+# ----------------------------------------------------------------------
+# the `repro serve` command
+# ----------------------------------------------------------------------
+class TestServeCommand:
+    def test_serve_prints_banner_and_handles_interrupt(
+        self, monkeypatch, capsys
+    ):
+        """`repro serve` binds, prints the parseable listening line, and
+        exits 0 on Ctrl-C (covered with a fake bound server)."""
+        from repro.cli import main
+
+        class FakeSocket:
+            def getsockname(self):
+                return ("127.0.0.1", 12345)
+
+        class FakeServer:
+            sockets = [FakeSocket()]
+
+            async def serve_forever(self):
+                raise KeyboardInterrupt
+
+            def close(self):
+                pass
+
+            async def wait_closed(self):
+                pass
+
+        async def fake_serve_http(handler, host, port):
+            assert host == "127.0.0.1" and port == 0
+            return FakeServer()
+
+        monkeypatch.setattr(
+            "repro.service.http.serve_http", fake_serve_http
+        )
+        assert main(["serve", "--port", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "listening on http://127.0.0.1:12345" in captured.out
+        assert "stopped" in captured.err
+
+    def test_serve_rejects_bad_cache_dir(self, tmp_path):
+        from repro.cli import main
+
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(SystemExit):
+            main(["serve", "--cache-dir", str(blocker / "sub")])
+
+    def test_serve_rejects_bad_workers(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--workers", "0"])
+
+
+# ----------------------------------------------------------------------
+# review-hardening regressions
+# ----------------------------------------------------------------------
+class TestReviewHardening:
+    def test_batch_timeout_answers_504(self, app, monkeypatch):
+        """/v1/batch enforces its per-query budget at the await side:
+        the whole batch deadline is budget x queries, then 504."""
+        import repro.batch.executor as executor_module
+
+        real = executor_module.execute_payload
+
+        def slow_execute(kind, params, payload, prepared=None):
+            time.sleep(0.5)
+            return real(kind, params, payload, prepared=prepared)
+
+        monkeypatch.setattr(
+            "repro.service.app.BatchExecutor",
+            lambda **kwargs: _SlowExecutor(slow_execute, **kwargs),
+        )
+        start = time.perf_counter()
+        status, body = app.request(
+            "POST",
+            "/v1/batch",
+            {
+                "queries": [{"kind": "dcsad", "graph": "uploaded"}],
+                "timeout": 0.05,
+            },
+        )
+        assert status == 504
+        assert body["status"] == "timeout"
+        assert time.perf_counter() - start < 0.5
+
+    def test_unavailable_backend_is_client_error(self, app, monkeypatch):
+        """A registered backend whose dependency is missing answers
+        400, not 500 — it is the client's backend choice."""
+        from repro.exceptions import BackendUnavailableError
+
+        def unavailable(name):
+            raise BackendUnavailableError(f"backend {name!r} needs SciPy")
+
+        monkeypatch.setattr(
+            "repro.service.app.resolve_backend", unavailable
+        )
+        status, body = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "backend": "sparse"}
+        )
+        assert status == 400
+        assert "SciPy" in body["error"]
+
+    def test_unmatched_paths_share_one_metrics_bucket(self, app):
+        """Scanner traffic must not grow the per-route metrics dict."""
+        for path in ("/a", "/b", "/c/d", "/v1/solve/123"):
+            app.request("GET", path)
+        _, body = app.request("GET", "/metrics")
+        by_route = body["requests"]["by_route"]
+        assert by_route["(unmatched)"] == 4
+        assert not any(route.startswith("/a") for route in by_route)
+
+    def test_upload_limit_answers_400(self, pair_texts):
+        g1_text, g2_text, _, _ = pair_texts
+        app = ServiceApp(
+            registry=GraphRegistry(scale=0.0, max_uploads=2)
+        )
+        for name in ("one", "two"):
+            status, _ = app.request(
+                "POST",
+                "/v1/graphs",
+                {"name": name, "g1": g1_text, "g2": g2_text},
+            )
+            assert status == 200
+        # Replacing an existing name is still allowed ...
+        status, _ = app.request(
+            "POST",
+            "/v1/graphs",
+            {"name": "two", "g1": g1_text, "g2": g2_text, "flip": True},
+        )
+        assert status == 200
+        # ... a third distinct name is refused.
+        status, body = app.request(
+            "POST",
+            "/v1/graphs",
+            {"name": "three", "g1": g1_text, "g2": g2_text},
+        )
+        assert status == 400
+        assert "upload limit" in body["error"]
+
+
+class _SlowExecutor:
+    """BatchExecutor stand-in whose run() is artificially slow."""
+
+    def __init__(self, slow_execute, **kwargs):
+        from repro.batch.executor import BatchExecutor, BatchStats
+
+        self._slow = slow_execute
+        self._inner = BatchExecutor(**kwargs)
+        self.stats = BatchStats()
+
+    def run(self, queries):
+        time.sleep(0.5)
+        results = self._inner.run(queries)
+        self.stats = self._inner.stats
+        return results
+
+
+class TestSecondReviewHardening:
+    def test_backend_alias_shares_cache_and_canonical_bytes(self, app):
+        """'heap' is an alias of 'python': one cache entry, and the
+        response names the canonical backend either way."""
+        _, first = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "backend": "python"}
+        )
+        _, second = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "backend": "heap"}
+        )
+        assert not first["cached"] and second["cached"]
+        assert second["result"]["params"]["backend"] == "python"
+        strip = lambda r: {k: v for k, v in r.items() if k != "timings"}
+        assert strip(second["result"]) == strip(first["result"])
+
+    def test_upload_rejects_stringly_booleans(self, app, pair_texts):
+        """'"false"' must not silently mean True (a flipped graph)."""
+        g1_text, g2_text, _, _ = pair_texts
+        status, body = app.request(
+            "POST",
+            "/v1/graphs",
+            {"name": "x", "g1": g1_text, "g2": g2_text, "flip": "false"},
+        )
+        assert status == 400
+        assert "boolean" in body["error"]
+
+    def test_cold_build_does_not_block_warm_hits(self, app, monkeypatch):
+        """registry.resolve builds cold names outside its lock."""
+        import threading
+
+        from repro.datasets import registry as datasets_registry
+
+        release = threading.Event()
+        real = datasets_registry.build_named
+
+        def slow_build(name, scale=1.0):
+            release.wait(timeout=5.0)
+            return real(name, scale=scale)
+
+        monkeypatch.setattr(
+            "repro.datasets.registry.build_named", slow_build
+        )
+        registry = app.registry
+        done = []
+
+        def cold():
+            done.append(registry.resolve("DM/-/Emerging"))
+
+        thread = threading.Thread(target=cold)
+        thread.start()
+        try:
+            # While the cold build blocks, a warm hit must not.
+            start = time.perf_counter()
+            warm = registry.resolve("uploaded")
+            assert time.perf_counter() - start < 1.0
+            assert warm is not None
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        assert len(done) == 1

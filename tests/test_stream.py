@@ -669,3 +669,65 @@ class TestStreamCLI:
         path.write_text("# nothing\n")
         with pytest.raises(SystemExit):
             main(["stream", str(path)])
+
+
+# ----------------------------------------------------------------------
+# exact-zero retirement under non-integer alpha-scaled weights
+# ----------------------------------------------------------------------
+class TestRetirementFloatResidue:
+    """An edge whose strength is a non-representable float (the shape
+    ``alpha``-scaled weights take, e.g. ``0.7 * 0.3``) must still
+    retire to *exactly* zero difference once its history stabilises —
+    a mean rebuilt as ``(w + ... + w) / L`` would carry residue that
+    keeps the edge alive forever."""
+
+    #: weights with no exact binary representation
+    ALPHA_WEIGHTS = (0.7 * 0.3, 0.1 + 0.2, 1.0 / 3.0, 0.49 * 1.1)
+
+    def test_expiry_burst_then_reinsert_retires_exactly(self):
+        window = 3
+        acc = SlidingWindowAccumulator(window=window)
+        key = ("a", "b")
+        # Burst: a different awkward weight every step.
+        for weight in self.ALPHA_WEIGHTS:
+            acc.observe(key, weight)
+            acc.close_step()
+        # Hold the last value until every burst segment expires.
+        final = self.ALPHA_WEIGHTS[-1]
+        retired_delta = None
+        for _ in range(window + 1):
+            deltas = acc.close_step()
+            if key in deltas:
+                retired_delta = deltas[key]
+        # The last report for the edge is its retirement: exactly 0.0,
+        # not float residue near zero.
+        assert retired_delta == 0.0
+        assert acc.active_edges == 0
+        assert acc.expectation_weight(key) == final
+        # Re-insert (same awkward scale), burst again, re-stabilise:
+        # the second retirement must be exact too.
+        acc.observe(key, final * 2)
+        acc.close_step()
+        acc.observe(key, final)  # back to the stable value
+        acc.close_step()
+        retired_delta = None
+        for _ in range(window + 1):
+            deltas = acc.close_step()
+            if key in deltas:
+                retired_delta = deltas[key]
+        assert retired_delta == 0.0
+        assert acc.active_edges == 0
+        assert acc.state_weight(key) == final
+
+    def test_engine_difference_graph_carries_no_residue(self):
+        """Through the full engine: after the window passes a burst of
+        alpha-scaled weights, the maintained difference graph is empty
+        (no epsilon edges scheduling pointless solves)."""
+        window = 3
+        engine = StreamingDCSEngine({"a", "b", "c"}, window=window)
+        for step, weight in enumerate(self.ALPHA_WEIGHTS):
+            engine.ingest(EdgeEvent(step, "a", "b", weight))
+        engine.advance_to(len(self.ALPHA_WEIGHTS) + window + 1)
+        gd = engine.difference
+        assert all(weight == 0.0 for _, _, weight in gd.edges())
+        assert gd.num_edges == 0
