@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service serve-smoke bench docs-check check
+.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service bench-sessions serve-smoke session-smoke bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
@@ -26,7 +26,8 @@ coverage:
 ## Lint + type gates: ruff (runtime-correctness rule tier, see
 ## ruff.toml) over the library, and a `mypy --strict` pass over the
 ## engine layer (the dispatch seam every other layer builds on) and
-## the service layer (the network-facing surface).
+## the service layer (the network-facing surface, including the
+## multi-tenant session module service/sessions.py).
 ## Requires ruff + mypy (`pip install ruff mypy`); plain `make test`
 ## stays dependency-light.
 lint:
@@ -37,15 +38,16 @@ lint:
 		{ echo "mypy is not installed: pip install mypy"; exit 1; }
 	$(PYTHON) -m mypy --strict src/repro/engine src/repro/service
 
-## Scalability + streaming + batch + service gates: sparse-vs-python
-## backend speedup (>= 5x at the largest planted size), incremental-
-## engine speedup over snapshot recompute (>= 3x at the largest event
-## count), batch-service speedup over the per-query serial loop (>= 2x
-## on a 16-query sweep), and warm query-service throughput over a
-## per-query CLI subprocess loop (>= 5x on a 32-query sweep) — all
-## with answer-parity checks.
+## Scalability + streaming + batch + service + session gates:
+## sparse-vs-python backend speedup (>= 5x at the largest planted
+## size), incremental-engine speedup over snapshot recompute (>= 3x at
+## the largest event count), batch-service speedup over the per-query
+## serial loop (>= 2x on a 16-query sweep), warm query-service
+## throughput over a per-query CLI subprocess loop (>= 5x on a
+## 32-query sweep), and 8-tenant session throughput over 8 naive
+## replays (>= 3x events/sec) — all with answer-parity checks.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py benchmarks/bench_service.py -q
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py benchmarks/bench_service.py benchmarks/bench_sessions.py -q
 
 ## Streaming benchmark only — incremental engine vs naive recompute,
 ## alert parity and the >= 3x speedup gate.
@@ -68,6 +70,16 @@ bench-service:
 ## (upload, solve, cached re-solve, batch, stream replay, /metrics).
 serve-smoke:
 	$(PYTHON) examples/service_client.py
+
+## Session benchmark only — K live tenants vs K naive replays:
+## >= 3x events/sec, per-tenant alert parity, charge accounting.
+bench-sessions:
+	$(PYTHON) -m pytest benchmarks/bench_sessions.py -q
+
+## Session smoke: spawn a real server, run the live-session tour
+## (create, event batches, cursor + long-poll alerts, info, close).
+session-smoke:
+	$(PYTHON) examples/stream_session_client.py
 
 ## Every table/figure reproduction benchmark (slow; writes rendered
 ## artefacts to benchmarks/output/).

@@ -239,6 +239,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="synthesis scale for dataset references (default 0.25)",
     )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=32,
+        help="resident stream sessions allowed; overflow answers 429 "
+        "(default 32)",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        help="idle seconds before a stream session expires "
+        "(default: never)",
+    )
+    serve.add_argument(
+        "--session-budget",
+        type=int,
+        default=None,
+        help="soft memory budget in graph cells; session charges shed "
+        "warm preparations past it (default: unbounded)",
+    )
 
     stream = sub.add_parser(
         "stream",
@@ -282,6 +303,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="close exactly this many steps (default: through the last event)",
+    )
+    stream.add_argument(
+        "--top-k",
+        type=int,
+        default=1,
+        help="maintain k incumbent answers; the final ranking is "
+        "summarised on stderr (default 1)",
     )
     add_backend(stream)
     return parser
@@ -381,22 +409,27 @@ def _cmd_dcsga(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream.engine import replay_events
+    from repro.stream.engine import StreamingDCSEngine
     from repro.stream.events import read_events
 
     log = read_events(args.events)
     if not log.universe:
         raise SystemExit(f"{args.events}: no vertices declared or evented")
-    alerts, stats = replay_events(
-        log,
-        n_steps=args.steps,
-        window=args.window,
-        measure=args.measure,
-        warmup=args.warmup,
-        backend=args.backend,
-        policy=args.policy,
-        min_score=args.threshold,
-    )
+    try:
+        engine = StreamingDCSEngine(
+            set(log.universe),
+            window=args.window,
+            measure=args.measure,
+            warmup=args.warmup,
+            backend=args.backend,
+            policy=args.policy,
+            min_score=args.threshold,
+            k=args.top_k,
+        )
+    except ValueError as exc:  # bad --top-k and friends exit cleanly
+        raise SystemExit(str(exc))
+    alerts = engine.run(log.events, n_steps=args.steps)
+    stats = engine.stats
     for alert in alerts:
         print(alert.to_json())
     print(
@@ -405,6 +438,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"holds={stats.incumbent_holds} probes={stats.local_probes}",
         file=sys.stderr,
     )
+    if args.top_k > 1:
+        for item in engine.current_topk():
+            members = ",".join(sorted(str(v) for v in item.subset))
+            print(
+                f"# topk rank={item.rank} score={item.objective:.6f} "
+                f"subset={members}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -463,6 +504,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             warm_capacity=args.warm_capacity,
             scale=args.scale,
+            max_sessions=args.max_sessions,
+            session_ttl=args.session_ttl,
+            session_budget_cells=args.session_budget,
         )
     except (ValueError, OSError) as exc:  # bad --workers, cache dir, ...
         raise SystemExit(str(exc))

@@ -39,6 +39,12 @@ from repro.service.app import (
 from repro.service.http import HttpRequest, HttpResponse
 from repro.service.metrics import LatencyWindow, ServiceMetrics
 from repro.service.registry import GraphRegistry
+from repro.service.sessions import (
+    SessionFailedError,
+    SessionLimitError,
+    SessionManager,
+    StreamSession,
+)
 
 __all__ = [
     "GraphRegistry",
@@ -49,4 +55,8 @@ __all__ = [
     "ServiceDeadlineError",
     "ServiceMetrics",
     "ServiceOverloadedError",
+    "SessionFailedError",
+    "SessionLimitError",
+    "SessionManager",
+    "StreamSession",
 ]

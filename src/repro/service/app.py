@@ -49,6 +49,7 @@ import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
 
 from repro.batch.cache import ResultCache, cache_key
 from repro.batch.executor import (
@@ -66,6 +67,12 @@ from repro.exceptions import BackendUnavailableError, InputMismatchError
 from repro.service.http import HttpError, HttpRequest, HttpResponse
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import GraphRegistry
+from repro.service.sessions import (
+    SessionFailedError,
+    SessionLimitError,
+    SessionManager,
+    events_from_records,
+)
 from repro.stream.events import EventLog, read_events
 
 __all__ = [
@@ -73,6 +80,17 @@ __all__ = [
     "ServiceDeadlineError",
     "ServiceOverloadedError",
 ]
+
+#: Longest long-poll wait the alerts route grants (seconds); bounds
+#: how long a connection may sit on the loop however large the client's
+#: ``wait`` parameter is.
+_MAX_LONG_POLL = 30.0
+
+#: Sleep between long-poll feed checks.  Plain polling (rather than a
+#: per-session condition) keeps the route loop-agnostic: sessions are
+#: touched from many event loops (``request`` runs one per call) and
+#: from pool threads, where asyncio primitives would not travel.
+_LONG_POLL_TICK = 0.02
 
 #: Keys of a solve record that ride outside the canonical answer.
 _OUT_OF_BAND = ("timings", "provenance")
@@ -174,6 +192,12 @@ class ServiceApp:
     warm_capacity / scale:
         Shape the default :class:`GraphRegistry` (ignored when a
         registry is injected).
+    max_sessions / session_ttl / session_budget_cells:
+        Stream-session admission: how many tenants may be resident
+        (429 past the limit), after how many idle seconds a session
+        expires (``None`` = never), and the registry's soft memory
+        budget in cells that session charges count against
+        (``session_budget_cells`` only shapes the default registry).
     """
 
     def __init__(
@@ -188,6 +212,9 @@ class ServiceApp:
         batch_mode: str = "serial",
         warm_capacity: int = 8,
         scale: float = 0.25,
+        max_sessions: int = 32,
+        session_ttl: Optional[float] = None,
+        session_budget_cells: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -196,9 +223,16 @@ class ServiceApp:
         self.registry = (
             registry
             if registry is not None
-            else GraphRegistry(capacity=warm_capacity, scale=scale)
+            else GraphRegistry(
+                capacity=warm_capacity,
+                scale=scale,
+                budget_cells=session_budget_cells,
+            )
         )
         self.cache = cache if cache is not None else ResultCache()
+        self.sessions = SessionManager(
+            self.registry, max_sessions=max_sessions, ttl=session_ttl
+        )
         self.metrics = ServiceMetrics()
         self.workers = workers
         self.max_pending = max_pending
@@ -220,6 +254,8 @@ class ServiceApp:
             ("POST", "/v1/solve"): self._solve,
             ("POST", "/v1/batch"): self._batch,
             ("POST", "/v1/stream/replay"): self._stream_replay,
+            ("POST", "/v1/stream/sessions"): self._session_create,
+            ("GET", "/v1/stream/sessions"): self._session_list,
         }
         self._known_paths = {path for _, path in self._routes}
 
@@ -344,10 +380,12 @@ class ServiceApp:
             response = await self._route(request)
         except HttpError as exc:
             response = HttpResponse(exc.status, {"error": exc.message})
-        except ServiceOverloadedError as exc:
+        except (ServiceOverloadedError, SessionLimitError) as exc:
             response = HttpResponse(
                 429, {"error": str(exc)}, headers={"Retry-After": "1"}
             )
+        except SessionFailedError as exc:
+            response = HttpResponse(409, {"error": str(exc)})
         except ServiceDeadlineError as exc:
             response = HttpResponse(
                 504, {"status": "timeout", "error": str(exc)}
@@ -369,19 +407,63 @@ class ServiceApp:
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
         # Unmatched paths share one metrics bucket so scanner traffic
-        # cannot grow the route table (and /metrics) without bound.
-        route = (
-            request.path
-            if request.path in self._known_paths
-            else "(unmatched)"
+        # cannot grow the route table (and /metrics) without bound;
+        # per-session paths collapse onto their {id} template for the
+        # same reason.
+        self.metrics.observe_request(
+            self._route_label(request.path), response.status
         )
-        self.metrics.observe_request(route, response.status)
         return response
+
+    def _route_label(self, path: str) -> str:
+        """The metrics bucket of *path* (templated session ids)."""
+        if path in self._known_paths:
+            return path
+        parts = self._session_parts(path)
+        if parts is not None:
+            _, tail = parts
+            suffix = f"/{tail}" if tail else ""
+            return f"/v1/stream/sessions/{{id}}{suffix}"
+        return "(unmatched)"
+
+    @staticmethod
+    def _session_parts(path: str) -> Optional[Tuple[str, str]]:
+        """Split a per-session path into ``(sid, tail)``.
+
+        ``/v1/stream/sessions/s-1`` -> ``("s-1", "")``;
+        ``/v1/stream/sessions/s-1/events`` -> ``("s-1", "events")``;
+        anything else (including the collection path itself) -> None.
+        """
+        prefix = "/v1/stream/sessions/"
+        if not path.startswith(prefix):
+            return None
+        rest = path[len(prefix) :]
+        if not rest:
+            return None
+        pieces = rest.split("/")
+        if len(pieces) == 1:
+            return pieces[0], ""
+        if len(pieces) == 2 and pieces[1] in ("events", "alerts"):
+            return pieces[0], pieces[1]
+        return None
 
     async def _route(self, request: HttpRequest) -> HttpResponse:
         handler = self._routes.get((request.method, request.path))
         if handler is not None:
             return await handler(request)
+        parts = self._session_parts(request.path)
+        if parts is not None:
+            sid, tail = parts
+            if tail == "":
+                if request.method == "GET":
+                    return await self._session_info(request, sid)
+                if request.method == "DELETE":
+                    return await self._session_close(request, sid)
+            elif tail == "events" and request.method == "POST":
+                return await self._session_events(request, sid)
+            elif tail == "alerts" and request.method == "GET":
+                return await self._session_alerts(request, sid)
+            raise HttpError(405, f"{request.method} not allowed here")
         if request.path in self._known_paths:
             raise HttpError(405, f"{request.method} not allowed here")
         raise HttpError(404, f"no route {request.method} {request.path}")
@@ -389,10 +471,20 @@ class ServiceApp:
     async def dispatch(
         self, method: str, path: str, body: Any = None
     ) -> HttpResponse:
-        """In-process request — what the HTTP shell would deliver."""
+        """In-process request — what the HTTP shell would deliver.
+
+        *path* may carry a query string (``.../alerts?cursor=3``),
+        parsed exactly as the socket shell parses it.
+        """
         raw = b"" if body is None else json.dumps(body).encode("utf-8")
+        parts = urlsplit(path)
         return await self.handle(
-            HttpRequest(method=method.upper(), path=path, body=raw)
+            HttpRequest(
+                method=method.upper(),
+                path=parts.path,
+                query=dict(parse_qsl(parts.query)),
+                body=raw,
+            )
         )
 
     def request(
@@ -418,6 +510,7 @@ class ServiceApp:
                 "uptime_seconds": round(self.metrics.uptime_seconds, 3),
                 "pending": self.pending,
                 "warm_prepared": self.registry.warm_count,
+                "sessions": self.sessions.active,
             },
         )
 
@@ -432,6 +525,7 @@ class ServiceApp:
                 warm_hits=self.registry.warm_hits,
                 warm_evictions=self.registry.evictions,
                 pending=self.pending,
+                sessions=self.sessions.snapshot(),
             ),
         )
 
@@ -756,6 +850,164 @@ class ServiceApp:
             self._effective_timeout(body),
             lambda payload: payload,
         )
+
+    # ------------------------------------------------------------------
+    # stream sessions
+    # ------------------------------------------------------------------
+    async def _session_create(self, request: HttpRequest) -> HttpResponse:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "session body must be a JSON object")
+        universe = body.get("universe")
+        graph = body.get("graph")
+        if universe is not None and (
+            not isinstance(universe, list)
+            or not universe
+            or not all(isinstance(v, str) for v in universe)
+        ):
+            raise HttpError(
+                400, "'universe' must be a non-empty array of vertex names"
+            )
+        if graph is not None and not isinstance(graph, str):
+            raise HttpError(400, "'graph' must be a registered name")
+        kwargs: Dict[str, Any] = {
+            "window": _field_int(body, "window", 5),
+            "measure": str(body.get("measure", "average_degree")),
+            "policy": str(body.get("policy", "exact")),
+            "min_score": _field_float(body, "threshold", 0.0),
+            "backend": str(body.get("backend", "python")),
+            "k": _field_int(body, "k", 1),
+            "tol_scale": _field_float(body, "tol_scale", 1e-2),
+        }
+        warmup = _field_optional_int(body, "warmup")
+        if warmup is not None:
+            kwargs["warmup"] = warmup
+        if body.get("drift_ratio") is not None:
+            kwargs["drift_ratio"] = _field_float(body, "drift_ratio", 0.5)
+        if body.get("hold_margin") is not None:
+            kwargs["hold_margin"] = _field_float(body, "hold_margin", 0.5)
+        if body.get("topk_strategy") is not None:
+            kwargs["topk_strategy"] = str(body["topk_strategy"])
+        self.sessions.expire_idle()
+
+        def create() -> Any:
+            # Resolving a graph reference may build cold — pool work.
+            return self.sessions.create(
+                universe=universe, graph=graph, **kwargs
+            )
+
+        session = await self._run_blocking(create)
+        return HttpResponse(
+            200,
+            {
+                "session": session.sid,
+                "config": dict(session.config),
+                "sessions": self.sessions.active,
+            },
+        )
+
+    async def _session_list(self, request: HttpRequest) -> HttpResponse:
+        self.sessions.expire_idle()
+        return HttpResponse(
+            200,
+            {
+                "sessions": self.sessions.ids(),
+                "stats": self.sessions.snapshot(),
+            },
+        )
+
+    async def _session_info(
+        self, request: HttpRequest, sid: str
+    ) -> HttpResponse:
+        return HttpResponse(200, self.sessions.describe(sid))
+
+    async def _session_close(
+        self, request: HttpRequest, sid: str
+    ) -> HttpResponse:
+        summary = self.sessions.close(sid)
+        if summary is None:
+            raise HttpError(404, f"no session {sid!r}")
+        return HttpResponse(200, {"closed": sid, "final": summary})
+
+    async def _session_events(
+        self, request: HttpRequest, sid: str
+    ) -> HttpResponse:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "events body must be a JSON object")
+        events = events_from_records(body.get("events"))
+        advance_to = _field_optional_int(body, "advance_to")
+        # Existence and health are checked inline so a bad sid answers
+        # 404 (and a failed session 409) without burning a queue slot.
+        self.sessions.get(sid)
+        timeout = self._effective_timeout(body)
+        start = time.perf_counter()
+
+        def work() -> Tuple[List[Dict[str, Any]], int, int]:
+            return self.sessions.apply_events(
+                sid, events, advance_to=advance_to
+            )
+
+        try:
+            alerts, cursor, step = await self._submit(work, timeout)
+        except ServiceDeadlineError:
+            self.metrics.observe_query(
+                "timeout", time.perf_counter() - start
+            )
+            raise
+        except (
+            ServiceOverloadedError,
+            SessionFailedError,
+            InputMismatchError,
+            KeyError,
+        ):
+            raise  # admission / client errors; not solver outcomes
+        except Exception as exc:  # noqa: BLE001 - solver fault boundary
+            self.metrics.observe_query("error", time.perf_counter() - start)
+            return HttpResponse(
+                422,
+                {
+                    "status": "error",
+                    "session": sid,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+        self.metrics.observe_query("ok", time.perf_counter() - start)
+        return HttpResponse(
+            200,
+            {
+                "status": "ok",
+                "session": sid,
+                "step": step,
+                "alerts": alerts,
+                "cursor": cursor,
+            },
+        )
+
+    async def _session_alerts(
+        self, request: HttpRequest, sid: str
+    ) -> HttpResponse:
+        try:
+            cursor = int(request.query.get("cursor", "0"))
+            wait = float(request.query.get("wait", "0"))
+        except ValueError as exc:
+            raise HttpError(400, f"bad query parameter: {exc}") from None
+        deadline = time.monotonic() + min(max(wait, 0.0), _MAX_LONG_POLL)
+        while True:
+            alerts, next_cursor, step = self.sessions.alerts_since(
+                sid, cursor
+            )
+            if alerts or time.monotonic() >= deadline:
+                return HttpResponse(
+                    200,
+                    {
+                        "session": sid,
+                        "alerts": alerts,
+                        "cursor": next_cursor,
+                        "step": step,
+                    },
+                )
+            await asyncio.sleep(_LONG_POLL_TICK)
 
     # ------------------------------------------------------------------
     # the network face

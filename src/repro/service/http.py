@@ -44,6 +44,7 @@ _REASONS: Dict[int, str] = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",

@@ -10,7 +10,7 @@ memory stays constant however long the service runs.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = ["LatencyWindow", "ServiceMetrics"]
 
@@ -96,10 +96,16 @@ class ServiceMetrics:
         warm_hits: int,
         warm_evictions: int,
         pending: int,
+        sessions: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """The JSON the ``/metrics`` route serves."""
+        """The JSON the ``/metrics`` route serves.
+
+        *sessions* is the :meth:`~repro.service.sessions.
+        SessionManager.snapshot` block; ``None`` (embedders that only
+        serve query routes) omits the section.
+        """
         lookups = cache_hits + cache_misses
-        return {
+        snapshot: Dict[str, Any] = {
             "uptime_seconds": round(self.uptime_seconds, 3),
             "requests": {
                 "total": self.requests_total,
@@ -135,3 +141,6 @@ class ServiceMetrics:
                 "p95_seconds": self.latency.quantile(0.95),
             },
         }
+        if sessions is not None:
+            snapshot["sessions"] = sessions
+        return snapshot

@@ -52,20 +52,31 @@ class GraphRegistry:
         capacity: int = 8,
         scale: float = 0.25,
         max_uploads: int = 64,
+        budget_cells: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("warm capacity must be at least 1")
         if max_uploads < 1:
             raise ValueError("max_uploads must be at least 1")
+        if budget_cells is not None and budget_cells < 1:
+            raise ValueError("budget_cells must be positive when set")
         self.capacity = capacity
         self.scale = scale
         #: bound on retained uploads — named graphs are server state a
         #: client creates, so they must not grow memory without limit
         self.max_uploads = max_uploads
+        #: soft memory budget in cells (vertices + edges); ``None``
+        #: disables shedding.  Session charges count against it, and
+        #: warm entries are shed LRU-first while the total overflows.
+        self.budget_cells = budget_cells
         #: name -> warm preparation, most recently used last
         self._warm: "OrderedDict[str, PreparedGraph]" = OrderedDict()
         #: uploaded difference graphs by name (eviction-safe source)
         self._uploads: Dict[str, Graph] = {}
+        #: owner -> cells currently charged (stream sessions and other
+        #: resident state report their footprint here so the one LRU
+        #: arbitrates all of the service's graph memory)
+        self._charges: Dict[str, int] = {}
         self._lock = threading.RLock()
         self.resolutions = 0
         self.warm_hits = 0
@@ -204,3 +215,64 @@ class GraphRegistry:
             while len(self._warm) > self.capacity:
                 self._warm.popitem(last=False)
                 self.evictions += 1
+            self._shed_locked()
+
+    # ------------------------------------------------------------------
+    # session memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def charged_cells(self) -> int:
+        """Cells currently charged by resident owners (sessions)."""
+        with self._lock:
+            return sum(self._charges.values())
+
+    def warm_cells(self) -> int:
+        """Cells held by warm preparations."""
+        with self._lock:
+            return sum(
+                _prepared_cells(p) for p in self._warm.values()
+            )
+
+    def charge(self, owner: str, cells: int) -> None:
+        """Record *owner*'s resident footprint (replacing any previous
+        charge) and shed warm entries if the budget overflows.
+
+        Stream sessions call this on every footprint change; the warm
+        LRU is the only shrinkable pool, so under session pressure the
+        least recently used preparations go first (counted as
+        evictions).  Charges themselves are never refused — admission
+        control happens at session-creation time, not here.
+        """
+        if cells < 0:
+            raise ValueError("cells must be non-negative")
+        with self._lock:
+            self._charges[owner] = cells
+            self._shed_locked()
+
+    def discharge(self, owner: str) -> None:
+        """Drop *owner*'s charge (no-op if absent)."""
+        with self._lock:
+            self._charges.pop(owner, None)
+
+    def _shed_locked(self) -> None:
+        """Evict warm LRU entries while over ``budget_cells``.
+
+        Caller holds the lock.  At least one warm entry is always kept:
+        shedding the whole cache under extreme session pressure would
+        only turn every query into a cold rebuild without freeing the
+        sessions' own memory.
+        """
+        if self.budget_cells is None:
+            return
+        charged = sum(self._charges.values())
+        while len(self._warm) > 1:
+            warm = sum(_prepared_cells(p) for p in self._warm.values())
+            if charged + warm <= self.budget_cells:
+                break
+            self._warm.popitem(last=False)
+            self.evictions += 1
+
+
+def _prepared_cells(prepared: PreparedGraph) -> int:
+    """Footprint proxy of one preparation: vertices + edges of ``GD``."""
+    return prepared.gd.num_vertices + prepared.gd.num_edges

@@ -42,6 +42,7 @@ from repro.stream.engine import (
     replay_events,
     snapshot_recompute,
     solve_difference,
+    solve_difference_topk,
 )
 from repro.stream.events import (
     EdgeEvent,
@@ -68,6 +69,7 @@ __all__ = [
     "replay_events",
     "snapshot_recompute",
     "solve_difference",
+    "solve_difference_topk",
     "EdgeEvent",
     "EventLog",
     "edge_key",

@@ -68,6 +68,12 @@ from typing import (
 
 from repro.core.difference import difference_graph
 from repro.core.monitor import mean_graph
+from repro.core.topk import (
+    IncrementalTopK,
+    RankedDCS,
+    top_k_dcsad,
+    top_k_dcsga,
+)
 from repro.engine.envelope import SolveRequest, solve
 from repro.engine.prepared import PreparedGraph
 from repro.engine.registry import get_backend
@@ -159,6 +165,51 @@ def solve_difference(
         score=result.density,
         x=dict(result.embedding) if result.embedding is not None else None,
     )
+
+
+def solve_difference_topk(
+    diff: Graph,
+    measure: Measure,
+    k: int,
+    backend: str = "python",
+    tol_scale: float = 1e-2,
+    seed: int = 0,
+    strategy: str = "vertices",
+) -> List[SolveOutcome]:
+    """Top-k solve of a difference graph, ranked best first.
+
+    The k>1 counterpart of :func:`solve_difference`, sharing its
+    active-subgraph restriction so the incremental engine and a batch
+    recompute of the same window run literally the same top-k
+    functions (:func:`~repro.core.topk.top_k_dcsad` /
+    :func:`~repro.core.topk.top_k_dcsga`) on the same semantics.
+    Returns only strictly-positive answers (possibly fewer than *k*).
+    """
+    if measure not in ("average_degree", "affinity"):
+        raise ValueError(f"unknown measure {measure!r}")
+    active = [u for u in diff.vertices() if diff.unweighted_degree(u) > 0]
+    if not active:
+        return []
+    sub = diff.subgraph(active)
+    ranked: List[RankedDCS]
+    if measure == "average_degree":
+        ranked = top_k_dcsad(sub, k, strategy=strategy, backend=backend)  # type: ignore[arg-type]
+    else:
+        prepared = PreparedGraph(sub)
+        if prepared.gd_plus.num_edges == 0:
+            return []
+        ranked = top_k_dcsga(
+            prepared.gd_plus, k, tol_scale=tol_scale, backend=backend
+        )
+    return [
+        SolveOutcome(
+            subset=frozenset(item.subset),
+            score=item.objective,
+            x=dict(item.embedding) if item.embedding is not None else None,
+        )
+        for item in ranked
+        if item.objective > 0.0
+    ]
 
 
 class DirtyRegion:
@@ -263,6 +314,19 @@ class StreamingDCSEngine:
         Gated policy: an incumbent is held only while its re-scored
         contrast stays above ``hold_margin`` times the score of the full
         solve that produced it; decaying past that triggers a re-solve.
+    k:
+        How many incumbent answers to maintain.  ``k=1`` (default) is
+        the single-incumbent engine; ``k>1`` holds an
+        :class:`~repro.core.topk.IncrementalTopK` of the best *k*
+        answers — dirty steps run the batch top-k solvers on the
+        maintained difference, the gated policy re-scores *every*
+        incumbent (rank membership can change without a solve), and
+        :meth:`current_topk` exposes the maintained ranking.  Emitted
+        alerts always carry the rank-0 answer.
+    topk_strategy:
+        Removal strategy between top-k DCSGreedy rounds when ``k>1``
+        and the measure is ``average_degree`` (see
+        :func:`~repro.core.topk.top_k_dcsad`).
     """
 
     def __init__(
@@ -279,6 +343,8 @@ class StreamingDCSEngine:
         tol_scale: float = 1e-2,
         prune_eps: float = PRUNE_EPS,
         seed: int = 0,
+        k: int = 1,
+        topk_strategy: str = "vertices",
     ) -> None:
         if measure not in ("average_degree", "affinity"):
             raise ValueError(f"unknown measure {measure!r}")
@@ -290,6 +356,10 @@ class StreamingDCSEngine:
         )
         if policy not in ("exact", "gated"):
             raise ValueError(f"unknown policy {policy!r}")
+        if k < 1:
+            raise ValueError("k must be positive")
+        if topk_strategy not in ("vertices", "edges"):
+            raise ValueError(f"unknown removal strategy {topk_strategy!r}")
         self.universe: Set[Vertex] = set(universe)
         if not self.universe:
             raise ValueError("universe must not be empty")
@@ -304,12 +374,20 @@ class StreamingDCSEngine:
         self.tol_scale = tol_scale
         self.prune_eps = prune_eps
         self.seed = seed
+        self.k = k
+        self.topk_strategy = topk_strategy
 
         self._accumulator = SlidingWindowAccumulator(window)
         self._dirty = DirtyRegion()
         self.stats = EngineStats()
         self._cached: Optional[SolveOutcome] = None
         self._incumbent: Optional[SolveOutcome] = None
+        #: the k maintained incumbents (None in the k=1 configuration);
+        #: the answer of record for k>1 — ``_cached`` mirrors its rank-0
+        #: entry and is refreshed whenever the structure re-sorts
+        self._topk: Optional[IncrementalTopK] = (
+            IncrementalTopK(k, min_score=0.0) if k > 1 else None
+        )
         #: score of the full solve that installed the incumbent
         self._anchor_score = 0.0
 
@@ -348,6 +426,29 @@ class StreamingDCSEngine:
     def state_graph(self) -> Graph:
         """Materialise the current persistent snapshot."""
         return self._accumulator.state_graph(self.universe)
+
+    def current_topk(self) -> List[RankedDCS]:
+        """The maintained ranking as of the last answered step.
+
+        With ``k>1`` this reads the live
+        :class:`~repro.core.topk.IncrementalTopK` — including rank
+        moves the gated policy's re-scoring made without a solve.  With
+        ``k=1`` it wraps the single incumbent (empty before the first
+        answer).
+        """
+        if self._topk is not None:
+            return self._topk.as_ranked()
+        base = self._incumbent if self._incumbent is not None else self._cached
+        if base is None or base.empty:
+            return []
+        return [
+            RankedDCS(
+                rank=0,
+                subset=set(base.subset),
+                objective=base.score,
+                embedding=dict(base.x) if base.x is not None else None,
+            )
+        ]
 
     # ------------------------------------------------------------------
     # ingestion
@@ -454,6 +555,8 @@ class StreamingDCSEngine:
 
     # -- exact path ----------------------------------------------------
     def _full_solve(self, warm: bool) -> SolveOutcome:
+        if self._topk is not None:
+            return self._full_solve_topk(warm)
         outcome = solve_difference(
             self._diff,
             self.measure,
@@ -475,6 +578,65 @@ class StreamingDCSEngine:
         self._dirty.reset()
         return outcome
 
+    def _full_solve_topk(self, warm: bool) -> SolveOutcome:
+        """Full top-k solve: replace the maintained ranking wholesale.
+
+        With *warm* (the gated policy), the previous incumbents are
+        re-scored on the updated difference and re-offered — the top-k
+        analogue of the k=1 warm start: the greedy/NewSEA rounds are
+        heuristics and must never regress below a carried answer that
+        still scores better than what they found.
+        """
+        assert self._topk is not None
+        outcomes = solve_difference_topk(
+            self._diff,
+            self.measure,
+            self.k,
+            backend=self.backend,
+            tol_scale=self.tol_scale,
+            seed=self.seed,
+            strategy=self.topk_strategy,
+        )
+        carried = self._topk_outcomes() if warm else []
+        self._topk.replace((o.subset, o.score, o.x) for o in outcomes)
+        fresh_best = outcomes[0].subset if outcomes else None
+        for previous in carried:
+            rescored = self._rescore(previous)
+            if rescored is not None:
+                self._topk.offer(rescored.subset, rescored.score, rescored.x)
+        best = self._topk_best_outcome()
+        if fresh_best is not None and best.subset != fresh_best:
+            self.stats.warm_start_wins += 1
+        self.stats.full_solves += 1
+        self._incumbent = best
+        self._anchor_score = best.score
+        self._cached = best
+        self._dirty.reset()
+        return best
+
+    def _topk_outcomes(self) -> List[SolveOutcome]:
+        """The maintained top-k entries as solve outcomes, rank order."""
+        assert self._topk is not None
+        return [
+            SolveOutcome(
+                subset=frozenset(item.subset),
+                score=item.objective,
+                x=item.embedding,
+            )
+            for item in self._topk.as_ranked()
+        ]
+
+    def _topk_best_outcome(self) -> SolveOutcome:
+        assert self._topk is not None
+        best = self._topk.best
+        if best is None:
+            return EMPTY_OUTCOME
+        return SolveOutcome(
+            subset=frozenset(best.subset),
+            score=best.objective,
+            x=best.embedding,
+        )
+
     # -- gated path ----------------------------------------------------
     def _gated_answer(self) -> Tuple[SolveOutcome, str]:
         """The incumbent-gating decision tree.
@@ -488,6 +650,8 @@ class StreamingDCSEngine:
         is held and emitted with its freshly re-scored contrast.
         """
         assert self._incumbent is not None
+        if self._topk is not None:
+            return self._gated_answer_topk()
         if (
             len(self._dirty.evented_since_full)
             > self.drift_ratio * len(self.universe)
@@ -514,6 +678,68 @@ class StreamingDCSEngine:
         self._incumbent = rescored
         self._cached = rescored
         return rescored, SOURCE_INCUMBENT
+
+    def _gated_answer_topk(self) -> Tuple[SolveOutcome, str]:
+        """The k>1 gating tree: every incumbent gets the k=1 treatment.
+
+        Full solves are forced by the same triggers as k=1, widened to
+        the whole maintained set — events inside *any* incumbent's
+        closed neighbourhood, the *best* re-scored contrast decaying
+        below ``hold_margin`` of the anchor, or a local probe beating
+        the *k-th* re-scored score (a challenger need only displace the
+        weakest incumbent to change the ranking).  A hold re-scores all
+        k incumbents through :meth:`IncrementalTopK.rescore`, which
+        re-sorts — so the emitted (rank-0) answer and the cached one
+        always track membership changes, even score-order flips with no
+        event anywhere near an incumbent.
+        """
+        assert self._topk is not None
+        if (
+            len(self._dirty.evented_since_full)
+            > self.drift_ratio * len(self.universe)
+        ):
+            self.stats.drift_fallbacks += 1
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        incumbents = self._topk_outcomes()
+        if not incumbents:
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        evented = self._dirty.evented_since_answer
+        region: Set[Vertex] = set()
+        for incumbent in incumbents:
+            region |= self._closed_neighborhood(incumbent.subset)
+        if evented & region:
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        rescored: Dict[FrozenSet[Vertex], SolveOutcome] = {}
+        for incumbent in incumbents:
+            fresh = self._rescore(incumbent)
+            if fresh is None:
+                return self._full_solve(warm=True), SOURCE_SOLVE
+            rescored[incumbent.subset] = fresh
+        best_score = max(o.score for o in rescored.values())
+        if best_score < self.hold_margin * self._anchor_score:
+            self.stats.drift_fallbacks += 1
+            return self._full_solve(warm=True), SOURCE_SOLVE
+        if evented:
+            probe = self._local_probe()
+            floor = (
+                min(o.score for o in rescored.values())
+                if len(rescored) >= self.k
+                else 0.0
+            )
+            if probe.score > floor:
+                self.stats.drift_fallbacks += 1
+                return self._full_solve(warm=True), SOURCE_SOLVE
+        self.stats.incumbent_holds += 1
+        self._dirty.settle()
+        self._topk.rescore(
+            lambda subset: rescored[subset].score
+            if subset in rescored
+            else None
+        )
+        best = self._topk_best_outcome()
+        self._incumbent = best
+        self._cached = best
+        return best, SOURCE_INCUMBENT
 
     def _closed_neighborhood(self, subset: Iterable[Vertex]) -> Set[Vertex]:
         members = set(subset)

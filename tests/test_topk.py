@@ -170,3 +170,341 @@ class TestCoverage:
 
     def test_empty(self):
         assert coverage([]) == set()
+
+
+# ----------------------------------------------------------------------
+# incremental maintenance (IncrementalTopK + the streaming engine's k)
+# ----------------------------------------------------------------------
+import random  # noqa: E402
+
+from repro.core.monitor import mean_graph  # noqa: E402
+from repro.core.topk import IncrementalTopK  # noqa: E402
+from repro.core.difference import difference_graph  # noqa: E402
+from repro.stream import (  # noqa: E402
+    SOURCE_INCUMBENT,
+    StreamingDCSEngine,
+    solve_difference_topk,
+)
+from repro.stream.events import EdgeEvent  # noqa: E402
+
+
+def _best_k_reference(offers, k, min_score=0.0):
+    """The spec: best-k of all offers, deduped by subset at max score."""
+    best = {}
+    for subset, score in offers:
+        key = frozenset(subset)
+        if not key or score <= min_score:
+            continue
+        if key not in best or score > best[key]:
+            best[key] = score
+    ranked = sorted(
+        best.items(),
+        key=lambda item: (
+            -item[1],
+            len(item[0]),
+            repr(sorted(item[0], key=repr)),
+        ),
+    )
+    return ranked[:k]
+
+
+class TestIncrementalTopK:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            IncrementalTopK(0)
+
+    def test_empty_reads(self):
+        topk = IncrementalTopK(3)
+        assert len(topk) == 0
+        assert topk.best is None
+        assert topk.as_ranked() == []
+        assert topk.worst_score == 0.0
+
+    def test_offer_below_min_score_never_enters(self):
+        topk = IncrementalTopK(3, min_score=1.0)
+        assert not topk.offer({"a"}, 1.0)
+        assert not topk.offer({"a"}, 0.5)
+        assert len(topk) == 0
+
+    def test_empty_subset_never_enters(self):
+        topk = IncrementalTopK(3)
+        assert not topk.offer(set(), 5.0)
+
+    def test_duplicate_subset_keeps_best_score(self):
+        topk = IncrementalTopK(3)
+        assert topk.offer({"a", "b"}, 2.0)
+        assert not topk.offer({"a", "b"}, 1.0)  # worse re-offer: no-op
+        assert topk.scores() == [2.0]
+        assert topk.offer({"a", "b"}, 3.0)  # better: upgrades in place
+        assert topk.scores() == [3.0]
+        assert len(topk) == 1
+
+    def test_truncates_to_k_and_reports_worst(self):
+        topk = IncrementalTopK(2)
+        topk.offer({"a"}, 1.0)
+        topk.offer({"b"}, 2.0)
+        topk.offer({"c"}, 3.0)
+        assert topk.subsets() == [frozenset({"c"}), frozenset({"b"})]
+        assert topk.worst_score == 2.0
+        assert not topk.offer({"d"}, 1.5)  # below the k-th: rejected
+
+    def test_contains_by_membership(self):
+        topk = IncrementalTopK(2)
+        topk.offer({"a", "b"}, 1.0)
+        assert {"b", "a"} in topk
+        assert {"a"} not in topk
+
+    def test_deterministic_tie_break(self):
+        first = IncrementalTopK(4)
+        second = IncrementalTopK(4)
+        offers = [({"b"}, 1.0), ({"a"}, 1.0), ({"a", "c"}, 1.0)]
+        for subset, score in offers:
+            first.offer(subset, score)
+        for subset, score in reversed(offers):
+            second.offer(subset, score)
+        assert first.subsets() == second.subsets()
+        # smaller subsets first, then lexicographic
+        assert first.subsets()[0] == frozenset({"a"})
+
+    def test_replace_installs_fresh_answers(self):
+        topk = IncrementalTopK(2)
+        topk.offer({"old"}, 9.0)
+        topk.replace([({"a"}, 1.0, None), ({"b"}, 2.0, None)])
+        assert topk.subsets() == [frozenset({"b"}), frozenset({"a"})]
+
+    def test_rescore_reorders_without_offers(self):
+        topk = IncrementalTopK(3)
+        topk.offer({"a"}, 3.0)
+        topk.offer({"b"}, 2.0)
+        changed = topk.rescore(
+            lambda s: 1.0 if s == frozenset({"a"}) else 5.0
+        )
+        assert changed
+        assert topk.subsets() == [frozenset({"b"}), frozenset({"a"})]
+
+    def test_rescore_drops_none_and_below_floor(self):
+        topk = IncrementalTopK(3, min_score=0.5)
+        topk.offer({"a"}, 3.0)
+        topk.offer({"b"}, 2.0)
+        topk.offer({"c"}, 1.0)
+        changed = topk.rescore(
+            lambda s: None if s == frozenset({"a"}) else (
+                0.5 if s == frozenset({"c"}) else 2.0
+            )
+        )
+        assert changed
+        assert topk.subsets() == [frozenset({"b"})]
+
+    def test_rescore_unchanged_returns_false(self):
+        topk = IncrementalTopK(2)
+        topk.offer({"a"}, 3.0)
+        changed = topk.rescore(lambda s: 3.0)
+        assert not changed
+
+    def test_embeddings_travel_with_candidates(self):
+        topk = IncrementalTopK(2)
+        topk.offer({"a"}, 1.0, embedding={"a": 1.0})
+        ranked = topk.as_ranked()
+        assert ranked[0].embedding == {"a": 1.0}
+        # defensive copies both ways
+        ranked[0].embedding["a"] = 9.0
+        assert topk.as_ranked()[0].embedding == {"a": 1.0}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_property_equals_batch_best_k(self, seed):
+        """The invariant: after any offer sequence, the maintained set
+        equals the best-k of all offers (dedup by subset, max score)."""
+        rng = random.Random(seed)
+        k = rng.randint(1, 4)
+        topk = IncrementalTopK(k)
+        offers = []
+        vocabulary = "abcdef"
+        for _ in range(200):
+            size = rng.randint(1, 3)
+            subset = frozenset(rng.sample(vocabulary, size))
+            score = rng.choice([0.0, 0.5, 1.0, 1.5, 2.0, 2.5, rng.random()])
+            offers.append((subset, score))
+            topk.offer(subset, score)
+            expected = _best_k_reference(offers, k)
+            assert [
+                (c, s) for c, s in zip(topk.subsets(), topk.scores())
+            ] == expected
+
+
+class _WindowOracle:
+    """Replays raw events and recomputes the window top-k per step."""
+
+    def __init__(self, universe, window, k, strategy="vertices"):
+        from collections import deque
+
+        self.state = Graph()
+        self.state.add_vertices(universe)
+        self.history = deque(maxlen=window)
+        self.k = k
+        self.strategy = strategy
+
+    def observe(self, events):
+        for event in events:
+            self.state.add_edge(event.u, event.v, event.w)
+
+    def close_step(self):
+        """Expectation over the retained window, then batch top-k."""
+        answers = []
+        if self.history:
+            expectation = mean_graph(list(self.history))
+            diff = difference_graph(expectation, self.state).map_weights(
+                lambda w: 0.0 if abs(w) <= 1e-9 else w
+            )
+            answers = solve_difference_topk(
+                diff, "average_degree", self.k, strategy=self.strategy
+            )
+        self.history.append(self.state.copy())
+        return answers
+
+
+class TestEngineTopK:
+    def _stream(self, seed, n_steps=14, n_vertices=24):
+        from repro.datasets.streaming import burst_event_stream
+
+        return burst_event_stream(
+            n_vertices=n_vertices,
+            n_steps=n_steps,
+            base_p=0.1,
+            reobserve_p=0.02,
+            anomaly_size=4,
+            anomaly_start=7,
+            anomaly_duration=4,
+            seed=seed,
+        )
+
+    def test_rejects_bad_topk_config(self):
+        with pytest.raises(ValueError):
+            StreamingDCSEngine({"a", "b"}, k=0)
+        with pytest.raises(ValueError):
+            StreamingDCSEngine({"a", "b"}, k=2, topk_strategy="bogus")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_maintained_topk_equals_window_recompute(self, seed):
+        """Property (satellite): at every step past warmup, the
+        engine's maintained top-k equals batch ``top_k_dcsad`` on a
+        from-scratch rebuild of the same window."""
+        from collections import defaultdict
+
+        stream = self._stream(seed)
+        k = 3
+        engine = StreamingDCSEngine(
+            stream.universe, window=5, min_score=1e-6, k=k
+        )
+        oracle = _WindowOracle(stream.universe, window=5, k=k)
+        by_step = defaultdict(list)
+        for event in stream.log.events:
+            by_step[event.t].append(event)
+        for t in range(stream.n_steps):
+            for event in by_step[t]:
+                engine.ingest(event)
+            oracle.observe(by_step[t])
+            engine.advance_to(t + 1)
+            expected = oracle.close_step()
+            if t < 5:
+                continue
+            mine = engine.current_topk()
+            assert [frozenset(r.subset) for r in mine] == [
+                o.subset for o in expected
+            ], f"step {t}"
+            for ranked, outcome in zip(mine, expected):
+                assert ranked.objective == pytest.approx(
+                    outcome.score, rel=1e-6, abs=1e-9
+                )
+
+    def test_affinity_topk_runs_and_ranks(self):
+        stream = self._stream(1, n_vertices=16)
+        engine = StreamingDCSEngine(
+            stream.universe,
+            window=4,
+            measure="affinity",
+            min_score=1e-6,
+            k=2,
+        )
+        engine.run(stream.log.events, n_steps=stream.n_steps)
+        ranking = engine.current_topk()
+        scores = [item.objective for item in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranking) <= 2
+
+    def test_gated_topk_alert_keys_match_exact(self):
+        from repro.stream import alert_keys
+
+        stream = self._stream(2)
+        runs = {}
+        for policy in ("exact", "gated"):
+            engine = StreamingDCSEngine(
+                stream.universe,
+                window=5,
+                policy=policy,
+                min_score=1e-6,
+                k=3,
+            )
+            runs[policy] = engine.run(
+                stream.log.events, n_steps=stream.n_steps
+            )
+        assert alert_keys(runs["gated"]) == alert_keys(runs["exact"])
+
+    def test_gated_topk_actually_holds(self):
+        stream = self._stream(3, n_steps=20)
+        engine = StreamingDCSEngine(
+            stream.universe, window=5, policy="gated", min_score=1e-6, k=3
+        )
+        engine.run(stream.log.events, n_steps=stream.n_steps)
+        assert engine.stats.incumbent_holds > 0
+
+    def test_clean_step_cache_tracks_rank_membership(self):
+        """Regression (satellite): a gated hold re-scores the maintained
+        ranking, and the cached answer the next clean step would serve
+        must mirror the re-sorted rank-0 — not the pre-hold incumbent.
+
+        Decay drives the flip: after a spike goes silent, the window
+        mean keeps rising toward the spike, so the incumbent's contrast
+        shrinks step by step on *held* steps (dirty from decay edits,
+        no new events, no full solve).  With window=3 the (a,b) spike
+        rescores to exactly zero two silent steps later and is dropped
+        by ``IncrementalTopK.rescore``; (c,d) — spiked one step later —
+        is still positive and must take over rank 0 and the cache.
+        """
+        universe = {"a", "b", "c", "d", "e", "f"}
+        engine = StreamingDCSEngine(
+            universe,
+            window=3,
+            warmup=1,
+            policy="gated",
+            min_score=1e-6,
+            drift_ratio=1.0,  # never fall back on drift
+            hold_margin=0.0,  # never fall back on decay
+            k=2,
+        )
+        # Quiet baseline, then staggered spikes.
+        engine.ingest(EdgeEvent(0, "a", "b", 1.0))
+        engine.ingest(EdgeEvent(0, "c", "d", 1.0))
+        engine.ingest(EdgeEvent(1, "a", "b", 13.0))
+        engine.ingest(EdgeEvent(2, "c", "d", 6.9))
+        engine.advance_to(3)
+        assert [sorted(r.subset) for r in engine.current_topk()] == [
+            ["a", "b"], ["c", "d"],
+        ]
+        solves_before = engine.stats.full_solves
+        holds_before = engine.stats.incumbent_holds
+        # Silence.  Step 3 holds (both incumbents shrink, order keeps);
+        # step 4 holds again and (a,b) rescores to zero — membership
+        # changes on a hold, with no full solve anywhere.
+        alerts = engine.advance_to(5)
+        assert engine.stats.full_solves == solves_before
+        assert engine.stats.incumbent_holds >= holds_before + 2
+        assert alerts, "held steps above threshold must still alert"
+        final = alerts[-1]
+        assert final.source == SOURCE_INCUMBENT
+        assert sorted(final.subset) == ["c", "d"]
+        ranking = engine.current_topk()
+        assert [sorted(r.subset) for r in ranking] == [["c", "d"]]
+        # The satellite's fix pin: the clean-step cache mirror must have
+        # followed the re-sort — a later clean step would serve (c,d).
+        assert engine._cached is not None
+        assert engine._cached.subset == frozenset({"c", "d"})
