@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service bench-sessions serve-smoke session-smoke bench docs-check check
+.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service bench-sessions serve-smoke session-smoke obs-smoke bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
@@ -27,7 +27,8 @@ coverage:
 ## ruff.toml) over the library, and a `mypy --strict` pass over the
 ## engine layer (the dispatch seam every other layer builds on) and
 ## the service layer (the network-facing surface, including the
-## multi-tenant session module service/sessions.py).
+## multi-tenant session module service/sessions.py), plus the
+## observability layer (repro/obs/ — tracing, logs, Prometheus).
 ## Requires ruff + mypy (`pip install ruff mypy`); plain `make test`
 ## stays dependency-light.
 lint:
@@ -36,7 +37,7 @@ lint:
 	$(PYTHON) -m ruff check src examples
 	@$(PYTHON) -c "import mypy" 2>/dev/null || \
 		{ echo "mypy is not installed: pip install mypy"; exit 1; }
-	$(PYTHON) -m mypy --strict src/repro/engine src/repro/service
+	$(PYTHON) -m mypy --strict src/repro/engine src/repro/service src/repro/obs
 
 ## Scalability + streaming + batch + service + session gates:
 ## sparse-vs-python backend speedup (>= 5x at the largest planted
@@ -80,6 +81,12 @@ bench-sessions:
 ## (create, event batches, cursor + long-poll alerts, info, close).
 session-smoke:
 	$(PYTHON) examples/stream_session_client.py
+
+## Observability smoke: spawn a real server, assert X-Request-Id
+## echo/generation, traced per-phase solve timings, and a valid
+## Prometheus /metrics exposition with non-zero phase counters.
+obs-smoke:
+	$(PYTHON) examples/obs_tour.py
 
 ## Every table/figure reproduction benchmark (slow; writes rendered
 ## artefacts to benchmarks/output/).

@@ -53,6 +53,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.batch.cache import ResultCache, cache_key, canonical_text
@@ -87,6 +88,9 @@ class BatchResult:
     error: Optional[str] = None
     cached: bool = False
     seconds: float = 0.0
+    #: phase -> self-time seconds, recorded where the solve ran (worker
+    #: process or serial host); None for cached / failed / stream rows.
+    profile: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -113,7 +117,12 @@ class BatchResult:
         )
 
     def to_json(self) -> str:
-        """Full one-line record (the ``repro batch`` JSONL output)."""
+        """Full one-line record (the ``repro batch`` JSONL output).
+
+        ``profile`` rides here — the out-of-band form — and never in
+        :meth:`canonical_json`: the phase breakdown is provenance of
+        *one execution*, not part of the answer's identity.
+        """
         return json.dumps(
             {
                 "qid": self.qid,
@@ -124,6 +133,7 @@ class BatchResult:
                 "error": self.error,
                 "cached": self.cached,
                 "seconds": self.seconds,
+                "profile": self.profile,
             },
             sort_keys=True,
         )
@@ -145,9 +155,12 @@ class BatchStats:
     timeouts: int = 0
     solve_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: the plan-level profile: per-phase self-time seconds merged over
+    #: every freshly solved graph query in the run
+    phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"queries={self.queries} mode={self.mode} workers={self.workers} "
             f"preps={self.preps_built} (+{self.preps_shared} shared) "
             f"cache_hits={self.cache_hits} solved={self.solved} "
@@ -155,6 +168,13 @@ class BatchStats:
             f"prep={self.prep_seconds:.3f}s solve={self.solve_seconds:.3f}s "
             f"wall={self.wall_seconds:.3f}s"
         )
+        if self.phase_seconds:
+            phases = " ".join(
+                f"{phase}={seconds:.3f}s"
+                for phase, seconds in sorted(self.phase_seconds.items())
+            )
+            text += f" phases[{phases}]"
+        return text
 
 
 # ----------------------------------------------------------------------
@@ -355,7 +375,7 @@ def run_guarded(
 
 def _run_spec(
     spec: _QuerySpec, timeout: Optional[float] = None
-) -> Tuple[str, Any, float]:
+) -> Tuple[str, Any, float, Optional[Dict[str, float]]]:
     """Execute one work order against the shared tables.
 
     Runs in a worker process (pooled mode) or in the submitting process
@@ -364,6 +384,12 @@ def _run_spec(
     interrupt where the platform allows.  The shared-table lookups (and
     the lazy per-fingerprint preparation) happen inside the guarded
     work, so preparation time counts against the query's budget.
+
+    Graph queries run under a recording tracer *in the executing
+    process*; the span tree never crosses the pool boundary — only the
+    derived phase dict does, returned as the fourth element (``None``
+    on failure and for stream replays, whose per-step solves stay on
+    the no-op hot path by design).
     """
     payload = _SHARED_PAYLOADS[spec.fingerprint]
 
@@ -375,7 +401,22 @@ def _run_spec(
             spec.kind, spec.params, payload, prepared=prepared
         )
 
-    return run_guarded(work, timeout)
+    if spec.kind in ("dcsad", "dcsga"):
+        from repro.obs.trace import recording
+
+        def traced_work() -> Tuple[Dict[str, Any], Dict[str, float]]:
+            with recording() as tracer:
+                answer = work()
+            return answer, tracer.phase_totals()
+
+        status, value, seconds = run_guarded(traced_work, timeout)
+        if status == "ok":
+            answer, profile = value
+            return status, answer, seconds, profile
+        return status, value, seconds, None
+
+    status, value, seconds = run_guarded(work, timeout)
+    return status, value, seconds, None
 
 
 # ----------------------------------------------------------------------
@@ -559,6 +600,11 @@ class BatchExecutor:
             if result.cached or not keys[position]:
                 continue
             self.stats.solve_seconds += result.seconds
+            if result.profile:
+                for phase, seconds in result.profile.items():
+                    self.stats.phase_seconds[phase] = (
+                        self.stats.phase_seconds.get(phase, 0.0) + seconds
+                    )
             if result.status == "ok":
                 self.stats.solved += 1
             if result.status == "ok" and keys[position]:
@@ -586,8 +632,9 @@ class BatchExecutor:
         waiter,
     ) -> None:
         wait_start = time.perf_counter()
+        profile: Optional[Dict[str, float]] = None
         try:
-            status, value, seconds = waiter()
+            status, value, seconds, profile = waiter()
         except BrokenProcessPool:
             raise
         except Exception as exc:  # pool infrastructure / pickling failure
@@ -602,6 +649,7 @@ class BatchExecutor:
             payload=value if status == "ok" else None,
             error=None if status == "ok" else value,
             seconds=seconds,
+            profile=profile,
         )
 
     def _run_serial(

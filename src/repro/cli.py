@@ -119,12 +119,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "timings + provenance) as one JSON object",
         )
 
+    def add_profile(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="trace the solve and print its span tree with "
+            "per-phase self-times to stderr; with --json the same "
+            "breakdown also appears in timings['phases']",
+        )
+
     dcsad = sub.add_parser(
         "dcsad", help="density contrast subgraph w.r.t. average degree"
     )
     add_common(dcsad)
     add_backend(dcsad)
     add_json(dcsad)
+    add_profile(dcsad)
     dcsad.add_argument(
         "--top-k", type=int, default=1, help="mine k disjoint answers"
     )
@@ -135,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(dcsga)
     add_backend(dcsga)
     add_json(dcsga)
+    add_profile(dcsga)
     dcsga.add_argument(
         "--top-k", type=int, default=1, help="mine k disjoint answers"
     )
@@ -260,6 +271,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="soft memory budget in graph cells; session charges shed "
         "warm preparations past it (default: unbounded)",
     )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="attach a JSON-lines log handler at this level "
+        "(default: no logging, today's silent behaviour)",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access record per request "
+        "(implies --log-level info unless set explicitly)",
+    )
+    serve.add_argument(
+        "--slow-query",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a warning for compute requests slower than this "
+        "(default: disabled)",
+    )
 
     stream = sub.add_parser(
         "stream",
@@ -363,9 +395,18 @@ def _solve_envelope(args: argparse.Namespace, measure: str) -> SolveResult:
         check_kkt=args.json,
     )
     try:
-        return solve(request, prepared)
+        if not args.profile:
+            return solve(request, prepared)
+        from repro.obs.trace import recording, render_trace
+
+        with recording() as tracer:
+            result = solve(request, prepared)
     except (UnknownBackendError, BackendUnavailableError) as exc:
         raise SystemExit(str(exc))
+    # The tree goes to stderr so `--json --profile` keeps stdout as one
+    # parseable JSON object.
+    print(render_trace(tracer), file=sys.stderr)
+    return result
 
 
 def _cmd_dcsad(args: argparse.Namespace) -> int:
@@ -495,6 +536,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.batch.cache import ResultCache
     from repro.service import ServiceApp
 
+    if args.log_level is not None or args.access_log:
+        from repro.obs.logs import configure_logging
+
+        configure_logging(level=args.log_level or "info")
+
     try:
         cache = ResultCache(args.cache_dir) if args.cache_dir else None
         app = ServiceApp(
@@ -507,6 +553,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             session_ttl=args.session_ttl,
             session_budget_cells=args.session_budget,
+            access_log=args.access_log,
+            slow_query_seconds=args.slow_query,
         )
     except (ValueError, OSError) as exc:  # bad --workers, cache dir, ...
         raise SystemExit(str(exc))

@@ -96,6 +96,9 @@ def _seacd_python(
     max_cd_iterations: int = 100_000,
 ) -> SEACDResult:
     """The reference implementation behind the ``python`` backend."""
+    from repro.obs.trace import current_tracer
+
+    tracer = current_tracer()
     stats = SEACDStats()
     x = {u: w for u, w in x0.items() if w > 0.0}
     if not x:
@@ -105,20 +108,25 @@ def _seacd_python(
     objective = 0.0
     while stats.expansions < max_expansions:
         support = set(x)
-        shrink = coordinate_descent(
-            graph,
-            x,
-            subset=support,
-            tol=tol_scale / len(support),
-            max_iterations=max_cd_iterations,
-        )
+        # Explicit stage spans: this loop calls the CD / expansion
+        # kernels directly, so the registry-level wrapper never sees
+        # the Algorithm 3 shrink/expand alternation.
+        with tracer.span("seacd.shrink", support=len(support)):
+            shrink = coordinate_descent(
+                graph,
+                x,
+                subset=support,
+                tol=tol_scale / len(support),
+                max_iterations=max_cd_iterations,
+            )
         stats.shrink_calls += 1
         stats.shrink_iterations += shrink.iterations
         x = shrink.x
         objective = shrink.objective
         stats.objective_trace.append(objective)
 
-        step = expansion_step(graph, x, objective=objective)
+        with tracer.span("seacd.expand"):
+            step = expansion_step(graph, x, objective=objective)
         if not step.expanded:
             converged = True
             break

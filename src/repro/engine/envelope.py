@@ -122,7 +122,9 @@ class SolveResult:
     kkt: Optional[Dict[str, bool]] = None
     embedding: Optional[Dict["Vertex", float]] = None
     detail: Dict[str, Any] = field(default_factory=dict)
-    timings: Dict[str, float] = field(default_factory=dict)
+    #: flat ``solve_seconds`` always; ``phases`` (name → self-time
+    #: seconds) when the solve ran under a recording tracer
+    timings: Dict[str, Any] = field(default_factory=dict)
     provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -173,14 +175,35 @@ def solve(request: SolveRequest, prepared: PreparedGraph) -> SolveResult:
     built at most once and the frozen CSR adjacencies are handed to any
     CSR-capable backend — a paired DCSAD+DCSGA workload on one graph
     pays for one ``GD+`` and one CSR freeze, total.
+
+    When a recording tracer is active (``repro --profile``/``--json``,
+    the batch workers, the service solve route), the whole call runs
+    under a root ``solve`` span and ``timings`` gains the derived
+    per-phase breakdown: ``timings["phases"]`` maps phase name →
+    self-time seconds (see :func:`repro.obs.trace.phase_totals`), whose
+    values sum to the root span's duration.  With the default no-op
+    tracer, ``timings`` stays the flat ``{"solve_seconds": ...}``.
     """
+    from repro.obs.trace import current_tracer
+
+    tracer = current_tracer()
     backend = resolve_backend(request.backend)
     start = time.perf_counter()
-    if request.measure == "average_degree":
-        result = _solve_average_degree(request, prepared)
-    else:
-        result = _solve_affinity(request, prepared)
+    with tracer.span(
+        "solve", kind=request.kind, backend=backend.name
+    ) as root:
+        if request.measure == "average_degree":
+            result = _solve_average_degree(request, prepared)
+        else:
+            result = _solve_affinity(request, prepared)
     result.timings["solve_seconds"] = time.perf_counter() - start
+    if not tracer.is_noop:
+        from repro.obs.trace import phase_totals
+
+        # The breakdown rides in timings — out-of-band like
+        # solve_seconds, so answer identity (payload/provenance) stays
+        # byte-identical between traced and untraced runs.
+        result.timings["phases"] = phase_totals([root])
     result.provenance["backend"] = backend.name
     fingerprint = prepared.cached_fingerprint
     if fingerprint is not None:

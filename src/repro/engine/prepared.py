@@ -107,7 +107,10 @@ class PreparedGraph:
     def gd_plus(self) -> Graph:
         """``GD+`` — built on first access, shared forever after."""
         if self._gd_plus is None:
-            self._gd_plus = self._gd.positive_part()
+            from repro.obs.trace import current_tracer
+
+            with current_tracer().span("prepare.gd_plus"):
+                self._gd_plus = self._gd.positive_part()
             self.plus_builds += 1
         return self._gd_plus
 
@@ -125,8 +128,10 @@ class PreparedGraph:
         """Content hash of ``GD`` (stable across processes/sessions)."""
         if self._fingerprint is None:
             from repro.graph.sparse import graph_fingerprint
+            from repro.obs.trace import current_tracer
 
-            self._fingerprint = graph_fingerprint(self._gd)
+            with current_tracer().span("prepare.fingerprint"):
+                self._fingerprint = graph_fingerprint(self._gd)
             self.fingerprint_builds += 1
         return self._fingerprint
 
@@ -135,7 +140,10 @@ class PreparedGraph:
         from repro.graph.sparse import CSRAdjacency, scipy_available
 
         if self._csr is None and scipy_available():
-            self._csr = CSRAdjacency.from_graph(self._gd)
+            from repro.obs.trace import current_tracer
+
+            with current_tracer().span("prepare.csr"):
+                self._csr = CSRAdjacency.from_graph(self._gd)
             self.csr_builds += 1
         return self._csr
 
@@ -144,7 +152,11 @@ class PreparedGraph:
         from repro.graph.sparse import CSRAdjacency, scipy_available
 
         if self._csr_plus is None and scipy_available():
-            self._csr_plus = CSRAdjacency.from_graph(self.gd_plus)
+            gd_plus = self.gd_plus
+            from repro.obs.trace import current_tracer
+
+            with current_tracer().span("prepare.csr"):
+                self._csr_plus = CSRAdjacency.from_graph(gd_plus)
             self.csr_builds += 1
         return self._csr_plus
 

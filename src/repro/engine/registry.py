@@ -304,6 +304,25 @@ def get_backend(name: str, require: bool = True) -> SolverBackend:
     return backend
 
 
+_trace_hook = None
+
+
+def _instrumented(backend: SolverBackend) -> SolverBackend:
+    """Wrap *backend* for tracing iff the ambient tracer records.
+
+    The hook import is deferred and cached: :mod:`repro.obs` depends on
+    this module, so the registry cannot import it at module scope, and
+    the no-op path must stay cheap — after the first call this is one
+    function call plus a :mod:`contextvars` read.
+    """
+    global _trace_hook
+    if _trace_hook is None:
+        from repro.obs.backend import maybe_wrap
+
+        _trace_hook = maybe_wrap
+    return _trace_hook(backend)
+
+
 def resolve_backend(
     backend: BackendLike,
     fallback: Optional[str] = None,
@@ -314,13 +333,19 @@ def resolve_backend(
     is registered but unavailable (e.g. ``"sparse"`` without SciPy →
     ``"python"``); without it, unavailability raises.  Unknown names
     always raise — a typo should never silently fall back.
+
+    When a recording tracer is active in the current context (see
+    :func:`repro.obs.trace.recording`), the resolved backend comes back
+    wrapped in a :class:`~repro.obs.backend.TracingBackend`, so every
+    capability call records a ``backend.<capability>`` span.  With the
+    default no-op tracer the backend is returned untouched.
     """
     if isinstance(backend, SolverBackend):
         backend.require_available()
-        return backend
+        return _instrumented(backend)
     found = get_backend(backend, require=False)
     if not found.available():
         if fallback is None:
             found.require_available()
-        return get_backend(fallback)
-    return found
+        return _instrumented(get_backend(fallback))
+    return _instrumented(found)

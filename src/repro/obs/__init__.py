@@ -1,0 +1,58 @@
+"""Observability: span tracing, phase profiling, structured telemetry.
+
+Public surface of the ``repro.obs`` package:
+
+* :mod:`repro.obs.trace` — spans, tracers, the ambient-context
+  machinery, and phase aggregation (``repro --profile`` rendering);
+* :mod:`repro.obs.backend` — the registry-level
+  :class:`~repro.obs.backend.TracingBackend` wrapper;
+* :mod:`repro.obs.prometheus` — ``/metrics`` text exposition derived
+  from the service's JSON snapshot;
+* :mod:`repro.obs.logs` — JSON access / slow-query logging on stdlib
+  :mod:`logging`, silent by default.
+"""
+
+from repro.obs.backend import TracingBackend, maybe_wrap, wrap_backend
+from repro.obs.logs import (
+    ACCESS_LOGGER,
+    SLOW_LOGGER,
+    JsonFormatter,
+    configure_logging,
+)
+from repro.obs.prometheus import parse_exposition, render_exposition
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    new_trace_id,
+    phase_of,
+    phase_totals,
+    recording,
+    render_trace,
+)
+
+__all__ = [
+    "ACCESS_LOGGER",
+    "JsonFormatter",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "SLOW_LOGGER",
+    "Span",
+    "Tracer",
+    "TracingBackend",
+    "activate",
+    "configure_logging",
+    "current_tracer",
+    "maybe_wrap",
+    "new_trace_id",
+    "parse_exposition",
+    "phase_of",
+    "phase_totals",
+    "recording",
+    "render_exposition",
+    "render_trace",
+    "wrap_backend",
+]

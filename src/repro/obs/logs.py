@@ -1,0 +1,77 @@
+"""Structured JSON logging on stdlib :mod:`logging`.
+
+The service emits two kinds of records — access lines (one per HTTP
+request, with request ID, route, status, duration) and slow-query
+lines (any compute call past a configurable threshold).  Both ride
+ordinary :class:`logging.LogRecord` objects carrying their fields in
+``record.__dict__`` via ``extra=``; :class:`JsonFormatter` serialises
+whatever extras are present into one JSON object per line.
+
+Default behaviour is **silent**: the loggers are created with no
+handlers and ``propagate`` left on, so unless the embedding app (or
+``repro serve --access-log``) configures a handler, nothing reaches
+the terminal — the PR-5 smoke jobs and doctests observe byte-identical
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ACCESS_LOGGER",
+    "SLOW_LOGGER",
+    "JsonFormatter",
+    "configure_logging",
+]
+
+#: Logger names — children of ``repro`` so one handler covers both.
+ACCESS_LOGGER = "repro.service.access"
+SLOW_LOGGER = "repro.service.slow"
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "", 0, "", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created or time.time(), 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: str = "info",
+    stream: Optional[Any] = None,
+) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` logger tree.
+
+    Called by ``repro serve --access-log`` / ``--log-level``; library
+    code never calls this, keeping the silent default.  Returns the
+    handler so callers (tests) can detach it again.
+    """
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    return handler

@@ -46,8 +46,11 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import logging
+import re
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextvars import ContextVar
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
@@ -64,6 +67,9 @@ from repro.engine.envelope import SolveRequest, solve
 from repro.engine.registry import resolve_backend
 from repro.engine.prepared import PreparedGraph
 from repro.exceptions import BackendUnavailableError, InputMismatchError
+from repro.obs.logs import ACCESS_LOGGER, SLOW_LOGGER
+from repro.obs.prometheus import render_exposition
+from repro.obs.trace import new_trace_id, recording
 from repro.service.http import HttpError, HttpRequest, HttpResponse
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import GraphRegistry
@@ -98,6 +104,21 @@ _OUT_OF_BAND = ("timings", "provenance")
 #: Extra seconds the awaiting side grants beyond the query budget
 #: before answering 504 (covers queue hop and result marshalling).
 _TIMEOUT_GRACE = 0.05
+
+#: Seconds between event-loop scheduling-lag probes.
+_LAG_PROBE_INTERVAL = 0.25
+
+#: A client-supplied request id is honoured only in this shape; anything
+#: else (header injection, unbounded length) is replaced with a fresh id.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+#: The request id of the request being handled on this context (empty
+#: outside a request).  Lets the slow-query log correlate without
+#: threading the id through every route signature.
+_REQUEST_ID: ContextVar[str] = ContextVar("repro_request_id", default="")
+
+_access_log = logging.getLogger(ACCESS_LOGGER)
+_slow_log = logging.getLogger(SLOW_LOGGER)
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -198,6 +219,18 @@ class ServiceApp:
         expires (``None`` = never), and the registry's soft memory
         budget in cells that session charges count against
         (``session_budget_cells`` only shapes the default registry).
+    access_log:
+        Emit one structured JSON access record (INFO on
+        ``repro.service.access``) per handled request.  Off by
+        default — and INFO is below the root logger's threshold, so
+        even when on, nothing prints until
+        :func:`repro.obs.logs.configure_logging` (``repro serve
+        --access-log``) attaches a handler.
+    slow_query_seconds:
+        When set, compute requests slower than this log a WARNING on
+        ``repro.service.slow``.  ``None`` (the default) disables the
+        check entirely so the default service stays silent (WARNING
+        would otherwise reach logging's last-resort handler).
     """
 
     def __init__(
@@ -215,6 +248,8 @@ class ServiceApp:
         max_sessions: int = 32,
         session_ttl: Optional[float] = None,
         session_budget_cells: Optional[int] = None,
+        access_log: bool = False,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -239,6 +274,8 @@ class ServiceApp:
         self.timeout = timeout
         self.batch_workers = batch_workers
         self.batch_mode = batch_mode
+        self.access_log = access_log
+        self.slow_query_seconds = slow_query_seconds
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queue: Optional["asyncio.Queue[_Job]"] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -283,6 +320,7 @@ class ServiceApp:
         self._tasks = [
             loop.create_task(self._consume()) for _ in range(self.workers)
         ]
+        self._tasks.append(loop.create_task(self._probe_loop_lag()))
 
     async def aclose(self) -> None:
         """Stop consumers and release the thread pool."""
@@ -319,6 +357,20 @@ class ServiceApp:
             finally:
                 self._queue.task_done()
 
+    async def _probe_loop_lag(self) -> None:
+        """Measure event-loop scheduling lag on a fixed cadence.
+
+        Each probe asks to sleep :data:`_LAG_PROBE_INTERVAL` seconds;
+        the overshoot is time the loop spent unable to schedule — the
+        direct symptom of blocking work on the loop (the thing
+        :meth:`_run_blocking` exists to prevent).
+        """
+        while True:
+            before = time.perf_counter()
+            await asyncio.sleep(_LAG_PROBE_INTERVAL)
+            lag = time.perf_counter() - before - _LAG_PROBE_INTERVAL
+            self.metrics.observe_loop_lag(max(0.0, lag))
+
     @property
     def pending(self) -> int:
         """Requests admitted but not yet picked up by a consumer."""
@@ -354,7 +406,7 @@ class ServiceApp:
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
-            self.metrics.rejected += 1
+            self.metrics.observe_rejection()
             raise ServiceOverloadedError(
                 f"admission queue full ({self.max_pending} pending); "
                 "retry later"
@@ -375,45 +427,76 @@ class ServiceApp:
     # dispatch
     # ------------------------------------------------------------------
     async def handle(self, request: HttpRequest) -> HttpResponse:
-        """Route one request; every failure maps to a JSON error."""
+        """Route one request; every failure maps to a JSON error.
+
+        Every response — success or error — echoes an ``X-Request-Id``
+        header: the client's own (when well-formed) or a fresh id.  The
+        id is held in a context variable for the duration of routing so
+        the slow-query log can correlate without plumbing.
+        """
+        start = time.perf_counter()
+        supplied = request.headers.get("x-request-id", "")
+        request_id = (
+            supplied if _REQUEST_ID_RE.match(supplied) else new_trace_id()
+        )
+        token = _REQUEST_ID.set(request_id)
         try:
-            response = await self._route(request)
+            response = await self._route_guarded(request)
+        finally:
+            _REQUEST_ID.reset(token)
+        response.headers["X-Request-Id"] = request_id
+        # Unmatched paths share one metrics bucket so scanner traffic
+        # cannot grow the route table (and /metrics) without bound;
+        # per-session paths collapse onto their {id} template for the
+        # same reason.
+        route = self._route_label(request.path)
+        self.metrics.observe_request(route, response.status)
+        if self.access_log:
+            _access_log.info(
+                "access",
+                extra={
+                    "request_id": request_id,
+                    "method": request.method,
+                    "path": request.path,
+                    "route": route,
+                    "status": response.status,
+                    "seconds": round(time.perf_counter() - start, 6),
+                },
+            )
+        return response
+
+    async def _route_guarded(self, request: HttpRequest) -> HttpResponse:
+        """Routing with the failure -> status map applied."""
+        try:
+            return await self._route(request)
         except HttpError as exc:
-            response = HttpResponse(exc.status, {"error": exc.message})
+            return HttpResponse(exc.status, {"error": exc.message})
         except (ServiceOverloadedError, SessionLimitError) as exc:
-            response = HttpResponse(
+            return HttpResponse(
                 429, {"error": str(exc)}, headers={"Retry-After": "1"}
             )
         except SessionFailedError as exc:
-            response = HttpResponse(409, {"error": str(exc)})
+            return HttpResponse(409, {"error": str(exc)})
         except ServiceDeadlineError as exc:
-            response = HttpResponse(
+            return HttpResponse(
                 504, {"status": "timeout", "error": str(exc)}
             )
         except KeyError as exc:
             message = str(exc.args[0]) if exc.args else str(exc)
-            response = HttpResponse(404, {"error": message})
+            return HttpResponse(404, {"error": message})
         except (
             InputMismatchError,
             BackendUnavailableError,  # a RuntimeError, still the client's ask
             ValueError,
             TypeError,
         ) as exc:
-            response = HttpResponse(
+            return HttpResponse(
                 400, {"error": f"{type(exc).__name__}: {exc}"}
             )
         except Exception as exc:  # noqa: BLE001 - service must answer
-            response = HttpResponse(
+            return HttpResponse(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
-        # Unmatched paths share one metrics bucket so scanner traffic
-        # cannot grow the route table (and /metrics) without bound;
-        # per-session paths collapse onto their {id} template for the
-        # same reason.
-        self.metrics.observe_request(
-            self._route_label(request.path), response.status
-        )
-        return response
 
     def _route_label(self, path: str) -> str:
         """The metrics bucket of *path* (templated session ids)."""
@@ -469,12 +552,18 @@ class ServiceApp:
         raise HttpError(404, f"no route {request.method} {request.path}")
 
     async def dispatch(
-        self, method: str, path: str, body: Any = None
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> HttpResponse:
         """In-process request — what the HTTP shell would deliver.
 
         *path* may carry a query string (``.../alerts?cursor=3``),
-        parsed exactly as the socket shell parses it.
+        parsed exactly as the socket shell parses it; *headers* are
+        lower-cased the way :func:`~repro.service.http.read_request`
+        normalises them.
         """
         raw = b"" if body is None else json.dumps(body).encode("utf-8")
         parts = urlsplit(path)
@@ -483,6 +572,10 @@ class ServiceApp:
                 method=method.upper(),
                 path=parts.path,
                 query=dict(parse_qsl(parts.query)),
+                headers={
+                    name.lower(): value
+                    for name, value in (headers or {}).items()
+                },
                 body=raw,
             )
         )
@@ -494,9 +587,24 @@ class ServiceApp:
 
         Returns ``(status, payload)``.  Each call runs on a private
         event loop via :func:`asyncio.run`; the app re-binds its queue
-        and consumers transparently.
+        and consumers transparently.  Consumers are closed before the
+        loop dies — an abandoned coroutine garbage-collected on a
+        closed loop raises at unpredictable moments (the next call
+        would re-bind and orphan them anyway).
         """
-        response = asyncio.run(self.dispatch(method, path, body))
+
+        async def call() -> HttpResponse:
+            try:
+                return await self.dispatch(method, path, body)
+            finally:
+                # Threaded callers race to re-bind the app to their own
+                # loops; only the thread whose loop owns the tasks may
+                # close them (the others' orphans die with their loops,
+                # exactly the pre-existing behaviour).
+                if self._loop is asyncio.get_running_loop():
+                    await self.aclose()
+
+        response = asyncio.run(call())
         return response.status, response.payload
 
     # ------------------------------------------------------------------
@@ -515,19 +623,32 @@ class ServiceApp:
         )
 
     async def _metrics(self, request: HttpRequest) -> HttpResponse:
-        return HttpResponse(
-            200,
-            self.metrics.snapshot(
-                cache_hits=self.cache.hits,
-                cache_misses=self.cache.misses,
-                warm_prepared=self.registry.warm_count,
-                warm_capacity=self.registry.capacity,
-                warm_hits=self.registry.warm_hits,
-                warm_evictions=self.registry.evictions,
-                pending=self.pending,
-                sessions=self.sessions.snapshot(),
-            ),
+        snapshot = self.metrics.snapshot(
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            warm_prepared=self.registry.warm_count,
+            warm_capacity=self.registry.capacity,
+            warm_hits=self.registry.warm_hits,
+            warm_evictions=self.registry.evictions,
+            pending=self.pending,
+            sessions=self.sessions.snapshot(),
         )
+        # Content negotiation: ?format=prometheus or an Accept header
+        # asking for text/plain gets the text exposition; everything
+        # else keeps the historical JSON bytes.  Both forms are derived
+        # from the same snapshot dict.
+        wants_text = request.query.get(
+            "format"
+        ) == "prometheus" or "text/plain" in request.headers.get(
+            "accept", ""
+        )
+        if wants_text:
+            return HttpResponse(
+                200,
+                render_exposition(snapshot),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return HttpResponse(200, snapshot)
 
     async def _datasets(self, request: HttpRequest) -> HttpResponse:
         return HttpResponse(
@@ -628,7 +749,26 @@ class ServiceApp:
             status, value = "timeout", str(exc)
         elapsed = time.perf_counter() - start
         self.metrics.observe_query(status, elapsed)
+        if (
+            self.slow_query_seconds is not None
+            and elapsed >= self.slow_query_seconds
+        ):
+            _slow_log.warning(
+                "slow_query",
+                extra={
+                    "request_id": _REQUEST_ID.get(),
+                    "fingerprint": fingerprint,
+                    "status": status,
+                    "seconds": round(elapsed, 6),
+                },
+            )
         if status == "ok":
+            timings = value.get("timings")
+            phases = (
+                timings.get("phases") if isinstance(timings, dict) else None
+            )
+            if isinstance(phases, dict) and phases:
+                self.metrics.observe_phases(phases)
             canonical = {
                 k: v for k, v in value.items() if k not in _OUT_OF_BAND
             }
@@ -691,7 +831,13 @@ class ServiceApp:
         fingerprint = prepared.fingerprint
 
         def solve_work() -> Dict[str, Any]:
-            return solve(solve_request, prepared).to_record()
+            # Recording here — inside the pool thread — gives each
+            # solve its own span tree; the derived breakdown rides back
+            # in timings["phases"] and feeds the /metrics phase gauges.
+            # The canonical answer bytes are unaffected (phases are
+            # out-of-band, like solve_seconds).
+            with recording():
+                return solve(solve_request, prepared).to_record()
 
         def rebuild_hit(payload: Dict[str, Any]) -> Dict[str, Any]:
             record = dict(payload)
@@ -1005,6 +1151,7 @@ class ServiceApp:
                         "alerts": alerts,
                         "cursor": next_cursor,
                         "step": step,
+                        "stats": self.sessions.phase_stats(sid),
                     },
                 )
             await asyncio.sleep(_LONG_POLL_TICK)

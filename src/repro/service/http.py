@@ -88,15 +88,24 @@ class HttpRequest:
 
 @dataclass
 class HttpResponse:
-    """One response: a status and a JSON-able payload."""
+    """One response: a status and a JSON-able payload.
+
+    ``content_type`` overrides the default JSON serialisation: when set
+    and the payload is a string, the body is that text verbatim — the
+    seam the ``/metrics`` Prometheus exposition uses.  JSON responses
+    leave it ``None`` and keep their exact historical bytes.
+    """
 
     status: int
     payload: Any = None
     headers: Dict[str, str] = field(default_factory=dict)
+    content_type: Optional[str] = None
 
     def body_bytes(self) -> bytes:
         if self.payload is None:
             return b""
+        if self.content_type is not None and isinstance(self.payload, str):
+            return self.payload.encode("utf-8")
         return (json.dumps(self.payload, sort_keys=True) + "\n").encode(
             "utf-8"
         )
@@ -169,9 +178,14 @@ async def write_response(
     """Serialise *response* (JSON body, ``Connection: close``)."""
     body = response.body_bytes()
     reason = _REASONS.get(response.status, "Unknown")
+    content_type = (
+        response.content_type
+        if response.content_type is not None
+        else "application/json; charset=utf-8"
+    )
     head = [
         f"HTTP/1.1 {response.status} {reason}",
-        "Content-Type: application/json; charset=utf-8",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]

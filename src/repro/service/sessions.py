@@ -400,6 +400,18 @@ class SessionManager:
                 session.engine.step,
             )
 
+    def phase_stats(self, sid: str) -> Dict[str, Any]:
+        """The session engine's solve-scheduling phase stats.
+
+        The per-session observability block the alerts route serves:
+        scheduling counters (full solves, cache hits, holds, probes,
+        fallbacks), current dirty-region sizes, and the last answered
+        step's :class:`~repro.stream.engine.StepProfile`.
+        """
+        session = self.get(sid)
+        with session.lock:
+            return session.engine.phase_stats()
+
     def describe(self, sid: str) -> Dict[str, Any]:
         """The session's JSON summary plus its maintained top-k."""
         session = self.get(sid)

@@ -53,9 +53,11 @@ gates the engine's speedup against it *with identical alert sets*.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import (
+    Any,
     Deque,
     Dict,
     FrozenSet,
@@ -282,6 +284,47 @@ class EngineStats:
     csr_rebuilds: int = 0
 
 
+#: How many recent per-step profiles an engine retains.
+STEP_PROFILE_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """One answered step's solve-scheduling record.
+
+    Captured *before* the answer settles or resets the dirty region, so
+    the sizes describe what the scheduler actually saw when it chose
+    between cache reuse, an incumbent hold, and a full solve.  These
+    are the per-step phase stats the observability layer ships — cheap
+    enough (one tiny frozen record per answered step) to collect
+    unconditionally, unlike span tracing, which stays off the per-step
+    hot path.
+    """
+
+    step: int
+    #: where the answer came from: ``cache`` | ``solve`` | ``incumbent``
+    source: str
+    #: dirty-region sizes at decision time
+    touched: int
+    evented: int
+    evented_since_full: int
+    #: wall seconds the scheduling decision + solve took
+    seconds: float
+    #: whether the step emitted an alert (score above the floor)
+    emitted: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "source": self.source,
+            "touched": self.touched,
+            "evented": self.evented,
+            "evented_since_full": self.evented_since_full,
+            "seconds": self.seconds,
+            "emitted": self.emitted,
+        }
+
+
 class StreamingDCSEngine:
     """Maintain DCS answers over a live stream of edge events.
 
@@ -380,6 +423,9 @@ class StreamingDCSEngine:
         self._accumulator = SlidingWindowAccumulator(window)
         self._dirty = DirtyRegion()
         self.stats = EngineStats()
+        self._step_profiles: Deque[StepProfile] = deque(
+            maxlen=STEP_PROFILE_CAPACITY
+        )
         self._cached: Optional[SolveOutcome] = None
         self._incumbent: Optional[SolveOutcome] = None
         #: the k maintained incumbents (None in the k=1 configuration);
@@ -426,6 +472,42 @@ class StreamingDCSEngine:
     def state_graph(self) -> Graph:
         """Materialise the current persistent snapshot."""
         return self._accumulator.state_graph(self.universe)
+
+    def step_profiles(self) -> List[StepProfile]:
+        """The retained recent per-step records, oldest first."""
+        return list(self._step_profiles)
+
+    @property
+    def last_step_profile(self) -> Optional[StepProfile]:
+        """The most recent answered step's record (None before any)."""
+        return self._step_profiles[-1] if self._step_profiles else None
+
+    def phase_stats(self) -> Dict[str, Any]:
+        """The solve-scheduling phase breakdown, JSON-ready.
+
+        Aggregate counters (how often each scheduling path fired) plus
+        the last answered step's :class:`StepProfile` — the shape the
+        service's per-session alerts route and ``/metrics`` consume.
+        """
+        stats = self.stats
+        last = self.last_step_profile
+        return {
+            "steps": stats.steps,
+            "events": stats.events,
+            "full_solves": stats.full_solves,
+            "cache_hits": stats.cache_hits,
+            "incumbent_holds": stats.incumbent_holds,
+            "local_probes": stats.local_probes,
+            "rescores": stats.rescores,
+            "drift_fallbacks": stats.drift_fallbacks,
+            "warm_start_wins": stats.warm_start_wins,
+            "dirty": {
+                "touched": len(self._dirty.touched_since_answer),
+                "evented": len(self._dirty.evented_since_answer),
+                "evented_since_full": len(self._dirty.evented_since_full),
+            },
+            "last_step": last.to_dict() if last is not None else None,
+        }
 
     def current_topk(self) -> List[RankedDCS]:
         """The maintained ranking as of the last answered step.
@@ -533,8 +615,26 @@ class StreamingDCSEngine:
             # Pre-warmup closes still settle the deltas, but nothing is
             # solved or emitted (the expectation is not trusted yet).
             return None
+        # Dirty sizes must be read before _answer(): settling/resetting
+        # the region is part of answering.
+        touched = len(self._dirty.touched_since_answer)
+        evented = len(self._dirty.evented_since_answer)
+        since_full = len(self._dirty.evented_since_full)
+        answer_start = time.perf_counter()
         outcome, source = self._answer()
-        if outcome.empty or outcome.score <= self.min_score:
+        emitted = not (outcome.empty or outcome.score <= self.min_score)
+        self._step_profiles.append(
+            StepProfile(
+                step=t,
+                source=source,
+                touched=touched,
+                evented=evented,
+                evented_since_full=since_full,
+                seconds=time.perf_counter() - answer_start,
+                emitted=emitted,
+            )
+        )
+        if not emitted:
             return None
         return StreamAlert(
             step=t,

@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import random
 
+# Imported eagerly so the hypothesis pytest plugin's lazy import at
+# terminal summary finds it cached.  Importing it *there* triggers an
+# assertion-rewrite ast.parse at a moment when garbage collection of
+# orphaned event-loop coroutines can fire mid-compile, which CPython
+# 3.11 answers with "SystemError: AST constructor recursion depth
+# mismatch" — failing otherwise-green runs of test subsets that never
+# touch hypothesis themselves.
+import hypothesis  # noqa: F401
 import pytest
 
 from repro.graph.graph import Graph

@@ -566,6 +566,257 @@ class TestLatencyWindow:
         with pytest.raises(ValueError):
             LatencyWindow().quantile(1.5)
 
+    def test_wraparound_quantiles_reflect_retained_window_only(self):
+        window = LatencyWindow(capacity=8)
+        # 3x capacity observations: only the last 8 (93..100) remain.
+        for value in range(77, 101):
+            window.add(float(value))
+        assert window.count == 24
+        assert window.quantile(0.0) == 93.0
+        assert window.quantile(1.0) == 100.0
+        assert window.quantile(0.5) == 97.0  # nearest rank: index 4 of 8
+
+    def test_nearest_rank_edges(self):
+        window = LatencyWindow(capacity=5)
+        for value in (5.0, 3.0, 1.0, 4.0, 2.0):
+            window.add(value)
+        # q=0 is the minimum, q=1 clamps to the maximum (index
+        # int(1.0 * 5) == 5 must clamp to 4, not raise).
+        assert window.quantile(0.0) == 1.0
+        assert window.quantile(1.0) == 5.0
+        # one observation past capacity: 5.0 (the oldest) rolls out
+        window.add(0.5)
+        assert window.quantile(1.0) == 4.0
+
+    def test_capacity_one(self):
+        window = LatencyWindow(capacity=1)
+        assert window.quantile(0.5) == 0.0  # empty window
+        window.add(7.0)
+        window.add(9.0)
+        assert window.count == 2
+        for q in (0.0, 0.5, 1.0):
+            assert window.quantile(q) == 9.0
+
+
+class TestServiceMetricsThreadSafety:
+    def test_concurrent_mutation_keeps_counts_exact(self):
+        import threading
+
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        threads_n, per_thread = 8, 500
+
+        def hammer(index: int) -> None:
+            for i in range(per_thread):
+                metrics.observe_request(f"/route-{index % 2}", 200)
+                metrics.observe_query(
+                    ("ok", "error", "timeout")[i % 3], 0.001 * index
+                )
+                metrics.observe_rejection()
+                metrics.observe_phases({"driver": 0.001, "peel": 0.002})
+                metrics.observe_loop_lag(0.0001 * index)
+                if i % 50 == 0:
+                    metrics.snapshot(
+                        cache_hits=0,
+                        cache_misses=0,
+                        warm_prepared=0,
+                        warm_capacity=8,
+                        warm_hits=0,
+                        warm_evictions=0,
+                        pending=0,
+                    )
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = threads_n * per_thread
+        snapshot = metrics.snapshot(
+            cache_hits=0,
+            cache_misses=0,
+            warm_prepared=0,
+            warm_capacity=8,
+            warm_hits=0,
+            warm_evictions=0,
+            pending=0,
+        )
+        assert snapshot["requests"]["total"] == total
+        assert sum(snapshot["requests"]["by_route"].values()) == total
+        queries = snapshot["queries"]
+        assert (
+            queries["ok"] + queries["error"] + queries["timeout"] == total
+        )
+        assert queries["rejected"] == total
+        assert snapshot["latency"]["observations"] == total
+        phases = snapshot["solve_phases"]
+        assert phases["driver"]["calls"] == total
+        assert phases["driver"]["seconds"] == pytest.approx(0.001 * total)
+        assert phases["peel"]["seconds"] == pytest.approx(0.002 * total)
+
+
+# ----------------------------------------------------------------------
+# observability: request ids, phases, Prometheus exposition
+# ----------------------------------------------------------------------
+class TestServiceObservability:
+    def test_request_id_echoed_when_well_formed(self, app):
+        response = asyncio.run(
+            app.dispatch(
+                "GET", "/healthz", headers={"X-Request-Id": "client-id.1"}
+            )
+        )
+        assert response.headers["X-Request-Id"] == "client-id.1"
+
+    def test_request_id_generated_when_absent_or_malformed(self, app):
+        fresh = asyncio.run(app.dispatch("GET", "/healthz"))
+        assert len(fresh.headers["X-Request-Id"]) == 16
+        bad = asyncio.run(
+            app.dispatch(
+                "GET", "/healthz", headers={"X-Request-Id": "bad id\r\nX: 1"}
+            )
+        )
+        assert bad.headers["X-Request-Id"] != "bad id\r\nX: 1"
+        assert len(bad.headers["X-Request-Id"]) == 16
+
+    def test_error_responses_carry_request_ids_too(self, app):
+        response = asyncio.run(app.dispatch("GET", "/nope"))
+        assert response.status == 404
+        assert len(response.headers["X-Request-Id"]) == 16
+
+    def test_solve_timings_carry_phase_breakdown(self, app):
+        status, body = app.request(
+            "POST", "/v1/solve", {"graph": "uploaded", "kind": "dcsga"}
+        )
+        assert status == 200
+        timings = body["result"]["timings"]
+        phases = timings["phases"]
+        assert sum(phases.values()) == pytest.approx(
+            timings["solve_seconds"], rel=0.10
+        )
+        # ... and /metrics accumulated the same phases.
+        _, metrics = app.request("GET", "/metrics")
+        assert set(metrics["solve_phases"]) >= {"driver", "new_sea"}
+        assert metrics["solve_phases"]["driver"]["calls"] == 1
+
+    def test_metrics_json_shape_keeps_preexisting_sections(self, app):
+        _, body = app.request("GET", "/metrics")
+        assert {
+            "uptime_seconds",
+            "requests",
+            "queries",
+            "cache",
+            "warm",
+            "latency",
+            "sessions",
+        } <= set(body)
+        assert body["loop"].keys() == {"lag_seconds", "lag_max_seconds"}
+        assert isinstance(body["solve_phases"], dict)
+
+    def test_metrics_prometheus_negotiation(self, app):
+        from repro.obs.prometheus import parse_exposition
+
+        app.request("POST", "/v1/solve", {"graph": "uploaded"})
+        via_query = asyncio.run(
+            app.dispatch("GET", "/metrics?format=prometheus")
+        )
+        assert via_query.status == 200
+        assert via_query.content_type.startswith("text/plain")
+        families = parse_exposition(via_query.payload)
+        assert families["repro_queries_total"]["samples"][
+            'repro_queries_total{outcome="ok"}'
+        ] == 1.0
+        assert "repro_solve_phase_seconds_total" in families
+        via_accept = asyncio.run(
+            app.dispatch(
+                "GET", "/metrics", headers={"Accept": "text/plain"}
+            )
+        )
+        assert via_accept.content_type.startswith("text/plain")
+        # Default (no negotiation) stays JSON.
+        plain = asyncio.run(app.dispatch("GET", "/metrics"))
+        assert plain.content_type is None
+        assert isinstance(plain.payload, dict)
+
+    def test_access_log_records_requests(self, app):
+        import logging as logging_module
+
+        from repro.obs.logs import ACCESS_LOGGER, JsonFormatter
+
+        stream = io.StringIO()
+        handler = logging_module.StreamHandler(stream)
+        handler.setFormatter(JsonFormatter())
+        logger = logging_module.getLogger(ACCESS_LOGGER)
+        logger.addHandler(handler)
+        logger.setLevel(logging_module.INFO)
+        app.access_log = True
+        try:
+            asyncio.run(
+                app.dispatch(
+                    "GET", "/healthz", headers={"X-Request-Id": "log-me"}
+                )
+            )
+        finally:
+            app.access_log = False
+            logger.removeHandler(handler)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "access"
+        assert record["request_id"] == "log-me"
+        assert record["route"] == "/healthz"
+        assert record["status"] == 200
+        assert record["seconds"] >= 0.0
+
+    def test_slow_query_log_fires_above_threshold(self, app):
+        import logging as logging_module
+
+        from repro.obs.logs import SLOW_LOGGER, JsonFormatter
+
+        stream = io.StringIO()
+        handler = logging_module.StreamHandler(stream)
+        handler.setFormatter(JsonFormatter())
+        logger = logging_module.getLogger(SLOW_LOGGER)
+        logger.addHandler(handler)
+        app.slow_query_seconds = 0.0  # everything is "slow"
+        try:
+            app.request("POST", "/v1/solve", {"graph": "uploaded"})
+        finally:
+            app.slow_query_seconds = None
+            logger.removeHandler(handler)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "slow_query"
+        assert record["status"] == "ok"
+        assert record["seconds"] > 0.0
+        assert record["request_id"]
+
+    def test_default_is_silent(self, app, capsys):
+        app.request("POST", "/v1/solve", {"graph": "uploaded"})
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+    def test_serve_log_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            [
+                "serve",
+                "--log-level",
+                "debug",
+                "--access-log",
+                "--slow-query",
+                "1.5",
+            ]
+        )
+        assert args.log_level == "debug"
+        assert args.access_log is True
+        assert args.slow_query == 1.5
+        defaults = _build_parser().parse_args(["serve"])
+        assert defaults.log_level is None
+        assert defaults.access_log is False
+        assert defaults.slow_query is None
+
 
 # ----------------------------------------------------------------------
 # the HTTP shell, end to end

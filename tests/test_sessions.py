@@ -474,6 +474,25 @@ class TestAlertCursor:
         assert payload["alerts"]
         assert payload["cursor"] == len(payload["alerts"])
 
+    def test_alerts_carry_engine_phase_stats(self, app):
+        sid = self._session_with_alerts(app)
+        status, payload = app.request(
+            "GET", f"/v1/stream/sessions/{sid}/alerts"
+        )
+        assert status == 200
+        stats = payload["stats"]
+        assert stats["steps"] > 0
+        assert stats["events"] > 0
+        assert set(stats["dirty"]) == {
+            "touched",
+            "evented",
+            "evented_since_full",
+        }
+        last = stats["last_step"]
+        assert last is not None
+        assert last["seconds"] >= 0.0
+        assert last["source"]
+
     def test_cursor_resumes_after_read(self, app):
         sid = self._session_with_alerts(app)
         _, first = app.request("GET", f"/v1/stream/sessions/{sid}/alerts")
