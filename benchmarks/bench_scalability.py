@@ -1,18 +1,25 @@
-"""Scalability — DCSAD/DCSGA cost vs input size, python vs sparse backend.
+"""Scalability — DCSAD/DCSGA cost vs input size across backends.
 
 Two sweeps:
 
 1. **Quasi-linear growth** (the paper's claim): DCSGreedy runs in
    ``O((m1 + m2 + n) log n)`` ("efficient and scalable in practice",
    Section VI-D) on a geometric size sweep of the DBLP-style generator.
-2. **Backend speedup**: the vectorised CSR backend against the
-   pure-Python reference on an *emerging dense community* workload —
-   a planted positive near-clique in a noisy difference graph, the
-   regime where DCSGA supports and frontiers grow large and dict loops
-   drown.  At the largest size the sparse backend must be >= 5x faster
-   on the NewSEA pipeline and on the replicator-dynamics kernel, while
-   agreeing on the answer (the parity contract of
-   ``tests/test_sparse_backend.py``).
+2. **Backend speedup**: the vectorised CSR backend and the Numba
+   ``native`` backend against the pure-Python reference on an
+   *emerging dense community* workload — a planted positive
+   near-clique in a noisy difference graph, the regime where DCSGA
+   supports and frontiers grow large and dict loops drown.  At the
+   largest size the sparse backend must be >= 5x faster than python on
+   the NewSEA pipeline and on the replicator-dynamics kernel; when
+   Numba is installed, the native backend must in turn be >= 5x faster
+   than *sparse* on NewSEA (the 2-coordinate-descent inner loop is the
+   sparse backend's residual pure-Python cost), with envelope payloads
+   byte-identical to sparse and answer-identical to python (the parity
+   contracts of ``tests/test_sparse_backend.py`` and
+   ``tests/test_native_backend.py``).  The native backend is JIT-warmed
+   once before the timed region — exactly what the batch pool
+   initialisers and ``repro serve`` do in production.
 
 Note the flip side, documented in the README backend guide: on
 workloads with tiny supports and heavy smart-init pruning (the DBLP
@@ -23,6 +30,7 @@ for scale, not a universal win.
 
 from __future__ import annotations
 
+import json
 import random
 
 from benchmarks._harness import emit, timed
@@ -40,6 +48,31 @@ SIZES = (200, 400, 800, 1600)
 #: largest is the >= 5x assertion point.
 PLANTED_SIZES = ((1500, 80), (3000, 150), (6000, 260))
 SPEEDUP_FLOOR = 5.0
+#: native-over-sparse floor for the NewSEA pipeline (asserted only when
+#: Numba is installed; the sweep records "n/a" columns otherwise).
+NATIVE_SPEEDUP_FLOOR = 5.0
+
+
+def _native_available() -> bool:
+    from repro.core.native_kernels import numba_available
+    from repro.graph.sparse import scipy_available
+
+    return scipy_available() and numba_available()
+
+
+def _envelope_payload(gd: Graph, backend: str) -> str:
+    """Canonical affinity-envelope payload with the backend name
+    stripped — the bytes that must not depend on which compiled path
+    produced them."""
+    from repro.engine.envelope import SolveRequest, solve
+    from repro.engine.prepared import PreparedGraph
+
+    result = solve(
+        SolveRequest(measure="affinity", backend=backend), PreparedGraph(gd)
+    )
+    payload = result.payload()
+    payload["params"].pop("backend", None)
+    return json.dumps(payload, sort_keys=True)
 
 
 def _sweep():
@@ -86,6 +119,13 @@ def _planted_contrast(n: int, k: int, seed: int) -> Graph:
 
 
 def _backend_sweep():
+    native = _native_available()
+    if native:
+        from repro.engine import get_backend
+
+        # JIT once outside every timed region — the production posture
+        # (batch pool initialisers / `repro serve` warm-up).
+        get_backend("native").warm()
     rows = []
     for n, k in PLANTED_SIZES:
         gd = _planted_contrast(n, k, seed=11)
@@ -101,35 +141,74 @@ def _backend_sweep():
         rep_sp, t_rep_sp = timed(
             replicator_dynamics, gd_plus, x0, max_iterations=50, backend="sparse"
         )
-        rows.append(
-            {
-                "n": n,
-                "k": k,
-                "m": gd.num_edges,
-                "t_py": t_py,
-                "t_sp": t_sp,
-                "speedup_ga": t_py / t_sp,
-                "t_ad_py": t_ad_py,
-                "t_ad_sp": t_ad_sp,
-                "t_rep_py": t_rep_py,
-                "t_rep_sp": t_rep_sp,
-                "speedup_rep": t_rep_py / t_rep_sp,
-                "support_equal": ga_py.support == ga_sp.support,
-                "subset_equal": ad_py.subset == ad_sp.subset,
-                "rep_objective_gap": abs(rep_py.objective - rep_sp.objective),
-                "ga_py": ga_py,
-                "ga_sp": ga_sp,
-            }
-        )
-    return rows
+        row = {
+            "n": n,
+            "k": k,
+            "m": gd.num_edges,
+            "t_py": t_py,
+            "t_sp": t_sp,
+            "speedup_ga": t_py / t_sp,
+            "t_ad_py": t_ad_py,
+            "t_ad_sp": t_ad_sp,
+            "t_rep_py": t_rep_py,
+            "t_rep_sp": t_rep_sp,
+            "speedup_rep": t_rep_py / t_rep_sp,
+            "support_equal": ga_py.support == ga_sp.support,
+            "subset_equal": ad_py.subset == ad_sp.subset,
+            "rep_objective_gap": abs(rep_py.objective - rep_sp.objective),
+            "ga_py": ga_py,
+            "ga_sp": ga_sp,
+            "t_nat": None,
+            "speedup_nat": None,
+            "t_rep_nat": None,
+            "nat_support_equal": None,
+            "nat_objective_equal": None,
+        }
+        if native:
+            ga_nat, t_nat = timed(new_sea, gd_plus, backend="native")
+            rep_nat, t_rep_nat = timed(
+                replicator_dynamics,
+                gd_plus,
+                x0,
+                max_iterations=50,
+                backend="native",
+            )
+            row.update(
+                t_nat=t_nat,
+                speedup_nat=t_sp / t_nat,
+                t_rep_nat=t_rep_nat,
+                nat_support_equal=ga_nat.support == ga_sp.support,
+                # Kernel parity contract: NewSEA is bitwise vs sparse.
+                nat_objective_equal=ga_nat.objective == ga_sp.objective,
+                nat_rep_iterations_equal=(
+                    rep_nat.iterations == rep_sp.iterations
+                ),
+            )
+        rows.append(row)
+    envelopes = None
+    if native:
+        # Byte-identity of the answer envelope at the gate size:
+        # identical bytes sparse<->native once the backend name is
+        # stripped; python agrees on the answer (vertices + density to
+        # summation-order precision) but not bytes.
+        n, k = PLANTED_SIZES[-1]
+        gd = _planted_contrast(n, k, seed=11)
+        envelopes = {
+            backend: _envelope_payload(gd, backend)
+            for backend in ("python", "sparse", "native")
+        }
+    return rows, envelopes
 
 
 def _run_all():
-    return _sweep(), _backend_sweep()
+    backend_rows, envelopes = _backend_sweep()
+    return _sweep(), backend_rows, envelopes
 
 
 def test_scalability(benchmark):
-    rows, backend_rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows, backend_rows, envelopes = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1
+    )
 
     table = Table(
         title="Scalability sweep (DBLP-style pairs)",
@@ -157,6 +236,8 @@ def test_scalability(benchmark):
             "NewSEA sparse (s)",
             "speedup",
             "replicator speedup",
+            "NewSEA native (s)",
+            "native/sparse",
         ],
     )
     for row in backend_rows:
@@ -169,6 +250,12 @@ def test_scalability(benchmark):
                 f"{row['t_sp']:.3f}",
                 f"{row['speedup_ga']:.1f}x",
                 f"{row['speedup_rep']:.1f}x",
+                "n/a" if row["t_nat"] is None else f"{row['t_nat']:.3f}",
+                (
+                    "n/a (no numba)"
+                    if row["speedup_nat"] is None
+                    else f"{row['speedup_nat']:.1f}x"
+                ),
             ]
         )
     emit("scalability_backends", backend_table.render())
@@ -202,4 +289,34 @@ def test_scalability(benchmark):
         assert row["rep_objective_gap"] < 1e-9
         assert abs(row["ga_py"].objective - row["ga_sp"].objective) <= (
             1e-6 * max(1.0, abs(row["ga_py"].objective))
+        )
+
+    # Native gate — only when Numba is installed (the sweep above left
+    # the columns at None otherwise, and the table reads "n/a").
+    if largest["t_nat"] is not None:
+        assert largest["speedup_nat"] >= NATIVE_SPEEDUP_FLOOR, (
+            f"NewSEA native speedup {largest['speedup_nat']:.1f}x over "
+            f"sparse is below the {NATIVE_SPEEDUP_FLOOR}x floor"
+        )
+        for row in backend_rows:
+            assert row["nat_support_equal"], (
+                f"native NewSEA support mismatch at n={row['n']}"
+            )
+            assert row["nat_objective_equal"], (
+                f"native NewSEA objective not bitwise-equal to sparse "
+                f"at n={row['n']}"
+            )
+            assert row["nat_rep_iterations_equal"], (
+                f"native replicator trajectory diverged at n={row['n']}"
+            )
+        assert envelopes is not None
+        assert envelopes["native"] == envelopes["sparse"], (
+            "affinity envelope payload is not byte-identical between "
+            "the native and sparse backends"
+        )
+        py = json.loads(envelopes["python"])
+        nat = json.loads(envelopes["native"])
+        assert py["vertices"] == nat["vertices"]
+        assert abs(py["density"] - nat["density"]) <= 1e-6 * max(
+            1.0, abs(py["density"])
         )

@@ -47,7 +47,7 @@ runs in CI's docs check)::
     >>> dcs_greedy(gd, backend="no-such-backend")
     Traceback (most recent call last):
         ...
-    repro.exceptions.UnknownBackendError: unknown backend 'no-such-backend'; registered backends: counting, heap, python, segment_tree, sparse
+    repro.exceptions.UnknownBackendError: unknown backend 'no-such-backend'; registered backends: counting, heap, native, numba, python, segment_tree, sparse
 
     ...and capabilities the backend does not override raise a clear
     capability error instead of silently misbehaving:

@@ -268,11 +268,33 @@ _SHARED_PAYLOADS: Dict[str, Union[Graph, EventLog]] = {}
 _SHARED_PREPARED: Dict[str, PreparedGraph] = {}
 
 
-def _worker_init(payloads: Dict[str, Union[Graph, EventLog]]) -> None:
-    """Pool initializer: receive the shared prep table once per worker."""
+def _worker_init(
+    payloads: Dict[str, Union[Graph, EventLog]],
+    warm: Tuple[str, ...] = (),
+) -> None:
+    """Pool initializer: receive the shared prep table once per worker.
+
+    *warm* names the backends this run's queries will use; each
+    available one is warmed **here** — once per worker process — so a
+    JIT-compiling backend (``native``) pays its compilation at pool
+    start instead of silently re-paying it inside the first query's
+    (timed, timeout-budgeted) solve.  Unknown or unavailable names are
+    ignored: warming is an optimisation, and the query itself will
+    raise the precise error if the backend truly cannot run.
+    """
     _SHARED_PAYLOADS.clear()
     _SHARED_PAYLOADS.update(payloads)
     _SHARED_PREPARED.clear()
+    from repro.engine.registry import get_backend
+    from repro.exceptions import UnknownBackendError
+
+    for name in warm:
+        try:
+            backend = get_backend(name, require=False)
+        except UnknownBackendError:
+            continue
+        if backend.available():
+            backend.warm()
 
 
 def _shared_prepared(fingerprint: str, graph: Graph) -> PreparedGraph:
@@ -557,10 +579,22 @@ class BatchExecutor:
 
         mode = self._effective_mode(len(pending))
         self.stats.mode = mode
+        # Backends this run will solve with, for per-process warm-up at
+        # worker start (JIT compilation must happen once per process,
+        # never inside a timed query).
+        warm = tuple(
+            sorted(
+                {
+                    str(spec.params["backend"])
+                    for _, spec, _ in pending
+                    if spec.params.get("backend")
+                }
+            )
+        )
         if pending:
             if mode == "process":
                 try:
-                    self._run_pooled(payload_table, pending, results)
+                    self._run_pooled(payload_table, pending, results, warm)
                 except BrokenProcessPool:
                     # A worker died (OOM, hard crash).  Finish the batch
                     # in-process rather than failing the submission.
@@ -569,9 +603,10 @@ class BatchExecutor:
                         payload_table,
                         [p for p in pending if results[p[0]] is None],
                         results,
+                        warm,
                     )
             else:
-                self._run_serial(payload_table, pending, results)
+                self._run_serial(payload_table, pending, results, warm)
 
         for position, primary in duplicates:
             source = results[primary]
@@ -657,8 +692,9 @@ class BatchExecutor:
         payload_table: Dict[str, Union[Graph, EventLog]],
         pending: Sequence[Tuple[int, _QuerySpec, Optional[float]]],
         results: List[Optional[BatchResult]],
+        warm: Tuple[str, ...] = (),
     ) -> None:
-        _worker_init(payload_table)
+        _worker_init(payload_table, warm)
         try:
             for position, spec, timeout in pending:
                 self._collect(
@@ -677,6 +713,7 @@ class BatchExecutor:
         payload_table: Dict[str, Union[Graph, EventLog]],
         pending: Sequence[Tuple[int, _QuerySpec, Optional[float]]],
         results: List[Optional[BatchResult]],
+        warm: Tuple[str, ...] = (),
     ) -> None:
         needed = {spec.fingerprint for _, spec, _ in pending}
         table = {
@@ -687,7 +724,7 @@ class BatchExecutor:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)),
             initializer=_worker_init,
-            initargs=(table,),
+            initargs=(table, warm),
         ) as pool:
             futures = [
                 (position, spec, pool.submit(_run_spec, spec, timeout))

@@ -38,7 +38,11 @@ from repro.graph.graph import Graph
 #: Query kinds (``"stream"`` is accepted as ``"stream_replay"`` too).
 KINDS = ("dcsad", "dcsga", "stream")
 
-#: Solver backends a query may request.
+#: Backend names always accepted without consulting the registry
+#: (kept for backward compatibility of the constant); any other name is
+#: validated against the live engine registry at construction time, so
+#: a query may request every registered backend — ``native``, aliases,
+#: plugins — and a typo still fails fast.
 BACKENDS = ("python", "sparse")
 
 
@@ -156,9 +160,13 @@ class BatchQuery:
                 f"unknown query kind {self.kind!r}; expected one of {KINDS}"
             )
         if self.backend not in BACKENDS:
-            raise InputMismatchError(
-                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
-            )
+            from repro.engine.registry import backend_names
+
+            if self.backend not in backend_names():
+                raise InputMismatchError(
+                    f"unknown backend {self.backend!r}; expected one of "
+                    f"{tuple(backend_names())}"
+                )
         if self.k <= 0:
             raise InputMismatchError("k must be positive")
         if self.kind == "stream":

@@ -107,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
             default="python",
             help="solver backend name from the engine registry: 'python' "
             "(pure-Python reference), 'sparse' (vectorised CSR/NumPy), "
+            "'native' (Numba-compiled kernels; requires numba), "
             "or any backend registered via "
             "repro.engine.register_backend (default: python)",
         )
@@ -558,6 +559,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except (ValueError, OSError) as exc:  # bad --workers, cache dir, ...
         raise SystemExit(str(exc))
+
+    # Warm every available backend before accepting traffic: a
+    # JIT-compiling backend (native) pays its compilation here, once per
+    # service process, never inside a client's (timed, timeout-budgeted)
+    # request.
+    from repro.engine import backend_names, get_backend
+
+    warmed = []
+    for name in sorted({get_backend(n, require=False).name for n in backend_names()}):
+        backend = get_backend(name, require=False)
+        if backend.available():
+            backend.warm()
+            warmed.append(name)
+    print(f"# warmed backends: {', '.join(warmed)}", file=sys.stderr)
 
     async def _run() -> None:
         server = await app.start_server(host=args.host, port=args.port)

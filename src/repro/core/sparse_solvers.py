@@ -29,7 +29,7 @@ products), which the cross-backend test suite pins down.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,13 @@ from repro.graph.sparse import CSRAdjacency
 #: Supports larger than this fall back from the dense local submatrix to
 #: CSR row updates (quadratic memory would start to bite).
 DENSE_SUPPORT_LIMIT = 4096
+
+#: The ``cd=`` seam: any drop-in for :func:`coordinate_descent_csr`
+#: (the native backend passes its compiled kernel here, reusing every
+#: orchestration loop in this module unchanged).
+CoordinateDescentFn = Callable[
+    ..., Tuple[np.ndarray, Optional[np.ndarray], float, int, bool]
+]
 
 
 def coordinate_descent_csr(
@@ -240,16 +247,21 @@ def seacd_csr(
     max_expansions: int = 10_000,
     max_cd_iterations: int = 100_000,
     adjacency: Optional[CSRAdjacency] = None,
+    cd: Optional["CoordinateDescentFn"] = None,
 ) -> SEACDResult:
     """Algorithm 3 on the CSR backend; mirrors :func:`repro.core.seacd.seacd`.
 
     Pass a prebuilt *adjacency* to amortise the CSR construction across
-    many initialisations (as :func:`new_sea_csr` does).
+    many initialisations (as :func:`new_sea_csr` does).  *cd* swaps the
+    2-coordinate-descent kernel (defaults to
+    :func:`coordinate_descent_csr`; the native backend passes its
+    compiled drop-in) — the seam through which every orchestration
+    layer here is shared across backends.
     """
     adj = adjacency if adjacency is not None else CSRAdjacency.from_graph(graph)
     x = adj.embedding_vector({u: w for u, w in x0.items() if w > 0.0})
     x_vec, objective, converged, stats = _seacd_vec(
-        adj, x, tol_scale, max_expansions, max_cd_iterations
+        adj, x, tol_scale, max_expansions, max_cd_iterations, cd=cd
     )
     return SEACDResult(
         x=adj.embedding_dict(x_vec),
@@ -265,7 +277,10 @@ def _seacd_vec(
     tol_scale: float,
     max_expansions: int,
     max_cd_iterations: int,
+    cd: Optional["CoordinateDescentFn"] = None,
 ) -> Tuple[np.ndarray, float, bool, SEACDStats]:
+    if cd is None:
+        cd = coordinate_descent_csr
     if not (x > 0.0).any():
         raise ValueError("initial embedding has empty support")
     stats = SEACDStats()
@@ -273,7 +288,7 @@ def _seacd_vec(
     objective = 0.0
     while stats.expansions < max_expansions:
         members = np.flatnonzero(x > 0.0)
-        x, dx, objective, iterations, _ = coordinate_descent_csr(
+        x, dx, objective, iterations, _ = cd(
             adj,
             x,
             members,
@@ -308,6 +323,7 @@ def refine_csr(
     tol_scale: float = 1e-2,
     max_cd_iterations: int = 100_000,
     adjacency: Optional[CSRAdjacency] = None,
+    cd: Optional["CoordinateDescentFn"] = None,
 ) -> Tuple[Dict[Vertex, float], float, int, float]:
     """Algorithm 4 on the CSR backend; mirrors :func:`repro.core.refinement.refine`.
 
@@ -318,7 +334,7 @@ def refine_csr(
     if not (x > 0.0).any():
         raise ValueError("cannot refine an empty embedding")
     x, objective, merges, initial = _refine_vec(
-        adj, x, tol_scale, max_cd_iterations
+        adj, x, tol_scale, max_cd_iterations, cd=cd
     )
     return adj.embedding_dict(x), objective, merges, initial
 
@@ -352,7 +368,10 @@ def _refine_vec(
     x: np.ndarray,
     tol_scale: float,
     max_cd_iterations: int,
+    cd: Optional["CoordinateDescentFn"] = None,
 ) -> Tuple[np.ndarray, float, int, float]:
+    if cd is None:
+        cd = coordinate_descent_csr
     initial_objective = adj.objective(x)
     merges = 0
     while True:
@@ -366,7 +385,7 @@ def _refine_vec(
         x[u] += x[v]
         x[v] = 0.0
         members = np.flatnonzero(x > 0.0)
-        x, _, _, _, _ = coordinate_descent_csr(
+        x, _, _, _, _ = cd(
             adj,
             x,
             members,
@@ -386,12 +405,13 @@ def _solve_one_vec(
     vertex_index: int,
     tol_scale: float,
     max_expansions: int,
+    cd: Optional["CoordinateDescentFn"] = None,
 ) -> Tuple[np.ndarray, float, int]:
     """SEACD + Refinement from the indicator of one vertex (by index)."""
     x = np.zeros(adj.n, dtype=np.float64)
     x[vertex_index] = 1.0
-    x, _, _, stats = _seacd_vec(adj, x, tol_scale, max_expansions, 100_000)
-    x, objective, _, _ = _refine_vec(adj, x, tol_scale, 100_000)
+    x, _, _, stats = _seacd_vec(adj, x, tol_scale, max_expansions, 100_000, cd=cd)
+    x, objective, _, _ = _refine_vec(adj, x, tol_scale, 100_000, cd=cd)
     return x, objective, stats.expansion_errors
 
 
@@ -427,6 +447,7 @@ def csr_vertex_solver(
     tol_scale: float = 1e-2,
     max_expansions: int = 10_000,
     adjacency: Optional[CSRAdjacency] = None,
+    cd: Optional["CoordinateDescentFn"] = None,
 ):
     """A ``VertexSolver`` closure over one shared CSR adjacency.
 
@@ -452,7 +473,7 @@ def csr_vertex_solver(
             # vertex is the observable symptom of a mismatched graph.
             raise VertexNotFound(vertex)
         x, objective, errors = _solve_one_vec(
-            adj, position, tol_scale, max_expansions
+            adj, position, tol_scale, max_expansions, cd=cd
         )
         return adj.embedding_dict(x), objective, errors
 
@@ -465,6 +486,7 @@ def new_sea_csr(
     max_expansions: int = 10_000,
     plan: Optional[InitializationPlan] = None,
     adjacency: Optional[CSRAdjacency] = None,
+    cd: Optional["CoordinateDescentFn"] = None,
 ):
     """Algorithm 5 on the CSR backend; mirrors :func:`repro.core.newsea.new_sea`.
 
@@ -501,7 +523,7 @@ def new_sea_csr(
             pruned_at = bound
             break
         x, objective, run_errors = _solve_one_vec(
-            adj, adj.index[vertex], tol_scale, max_expansions
+            adj, adj.index[vertex], tol_scale, max_expansions, cd=cd
         )
         errors += run_errors
         initializations += 1

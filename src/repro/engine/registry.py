@@ -26,17 +26,19 @@ Lookups are dict reads, not string ladders.  Error taxonomy:
   :class:`~repro.exceptions.BackendCapabilityError` (a ``ValueError``).
 
 The built-in backends (``python`` with alias ``heap``,
-``segment_tree``, ``sparse``) are registered when
-:mod:`repro.engine.backends` is imported, which the package
-``__init__`` guarantees.
+``segment_tree``, ``sparse``, and ``native`` with alias ``numba``) are
+registered when :mod:`repro.engine.backends` is imported, which the
+package ``__init__`` guarantees.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+import warnings
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.exceptions import (
     BackendCapabilityError,
+    BackendFallbackWarning,
     BackendUnavailableError,
     InputMismatchError,
     UnknownBackendError,
@@ -101,6 +103,14 @@ class SolverBackend:
         """Raise :class:`BackendUnavailableError` if unusable here."""
         if not self.available():
             raise BackendUnavailableError(self.missing_reason())
+
+    def warm(self) -> None:
+        """Pay any one-time per-process startup cost now (JIT
+        compilation, kernel caches) so queries never do.
+
+        A no-op for the interpreted backends; long-lived hosts — batch
+        pool initializers, ``repro serve`` — call this on every backend
+        they are about to serve."""
 
     # -- capability introspection -------------------------------------
     def has_capability(self, capability: str) -> bool:
@@ -347,5 +357,21 @@ def resolve_backend(
     if not found.available():
         if fallback is None:
             found.require_available()
+        pair = (backend, fallback)
+        if pair not in _FALLBACK_WARNED:
+            # Warn once per (requested, substitute) pair per process:
+            # graceful degradation should be visible, not noisy.
+            _FALLBACK_WARNED.add(pair)
+            warnings.warn(
+                f"backend {backend!r} is unavailable "
+                f"({found.missing_reason()}); falling back to "
+                f"{fallback!r}",
+                BackendFallbackWarning,
+                stacklevel=2,
+            )
         return _instrumented(get_backend(fallback))
     return _instrumented(found)
+
+
+#: (requested, fallback) pairs already warned about in this process.
+_FALLBACK_WARNED: Set[Tuple[str, Optional[str]]] = set()

@@ -65,6 +65,18 @@ class BackendUnavailableError(ReproError, RuntimeError):
     """
 
 
+class BackendFallbackWarning(RuntimeWarning):
+    """A requested backend was unavailable and a substitute was used.
+
+    Emitted (once per requested/fallback pair per process) by
+    :func:`repro.engine.resolve_backend` when its ``fallback=`` path
+    fires — e.g. ``resolve_backend("native", fallback="sparse")``
+    without Numba installed.  A warning rather than an error: the
+    caller opted into graceful degradation, but silent degradation
+    would make performance regressions invisible.
+    """
+
+
 class UnknownBackendError(ReproError, ValueError):
     """A backend name is not registered in the engine's backend registry.
 

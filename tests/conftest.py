@@ -17,6 +17,30 @@ import pytest
 from repro.graph.graph import Graph
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "jit: exercises real Numba JIT compilation (seconds of warm-up); "
+        "excluded from the default tier — run with -m jit (or "
+        '-m "jit or not jit" for everything)',
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list
+) -> None:
+    """Keep the default ``pytest -x -q`` tier fast: JIT-warmup tests
+    only run when a ``-m`` expression explicitly asks for them."""
+    if config.option.markexpr:
+        return
+    skip_jit = pytest.mark.skip(
+        reason="jit-marked (JIT warm-up is slow); run with -m jit"
+    )
+    for item in items:
+        if "jit" in item.keywords:
+            item.add_marker(skip_jit)
+
+
 @pytest.fixture
 def triangle() -> Graph:
     """Unit-weight triangle on {a, b, c}."""

@@ -225,9 +225,24 @@ class TestAvailabilityFallback:
             new_sea(gd.positive_part(), backend="sparse")
 
     def test_resolve_with_fallback_degrades(self, sparse_unavailable):
-        assert resolve_backend("sparse", fallback="python") is get_backend(
-            "python"
-        )
+        import warnings
+
+        from repro.engine import registry
+        from repro.exceptions import BackendFallbackWarning
+
+        registry._FALLBACK_WARNED.discard(("sparse", "python"))
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert resolve_backend(
+                    "sparse", fallback="python"
+                ) is get_backend("python")
+            assert any(
+                issubclass(w.category, BackendFallbackWarning)
+                for w in caught
+            )
+        finally:
+            registry._FALLBACK_WARNED.discard(("sparse", "python"))
 
     def test_fallback_never_hides_typos(self, sparse_unavailable):
         with pytest.raises(UnknownBackendError):

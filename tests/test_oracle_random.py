@@ -4,9 +4,15 @@ Every solver in the library is swept over seeded random signed graphs
 and held to the invariants the paper proves about its answers:
 
 * **Backend parity** — the pure-Python reference, the segment-tree
-  peeling structure and the vectorised CSR backend implement the same
-  algorithms, so their objectives must agree (subsets may differ only
-  on exact ties, which the continuous random weights make improbable).
+  peeling structure, the vectorised CSR backend and the native kernel
+  backend implement the same algorithms, so their objectives must agree
+  (subsets may differ only on exact ties, which the continuous random
+  weights make improbable).  The native leg is *three-way*: it runs
+  compiled when Numba is installed and interpreted (``jit=False``,
+  identical kernel bodies) otherwise, and is held to the strict parity
+  contract against ``sparse`` — equal vertex sets, equal Theorem-2
+  betas, bitwise-equal NewSEA embeddings/objectives — plus the same
+  KKT certificate as every other backend.
 * **KKT validity** (Theorem 4 territory) — every embedding returned by
   SEACD / Refinement / NewSEA is a KKT point of ``max x^T D x`` on the
   simplex, up to the solver's convergence tolerance.
@@ -30,6 +36,7 @@ from repro.core.kkt import check_kkt
 from repro.core.newsea import new_sea
 from repro.core.refinement import refine
 from repro.core.seacd import seacd
+from repro.core.native_kernels import numba_available
 from repro.core.topk import top_k_dcsad, top_k_dcsga
 from repro.graph.cliques import is_clique
 from repro.graph.generators import random_signed_graph
@@ -39,6 +46,19 @@ from repro.graph.sparse import scipy_available
 needs_scipy = pytest.mark.skipif(
     not scipy_available(), reason="sparse backend requires SciPy"
 )
+
+
+def _native_backend():
+    """The native leg of the differential: compiled when Numba is
+    installed, otherwise the identical kernel bodies interpreted —
+    either way the parity assertions below are exercised."""
+    if numba_available():
+        from repro.engine import get_backend
+
+        return get_backend("native")
+    from repro.engine.backends import NativeBackend
+
+    return NativeBackend(jit=False)
 
 #: The sweep: (seed, n, p) for seeded G(n, p) signed graphs.  Chosen to
 #: cover sparse/dense and small/medium regimes while staying fast.
@@ -73,12 +93,22 @@ class TestDCSADOracle:
     def test_peeling_backends_agree(self, seed, n, p):
         gd = _gd(seed, n, p)
         reference = dcs_greedy(gd, backend="heap")
-        for backend in ("segment_tree",) + (
-            ("sparse",) if scipy_available() else ()
-        ):
+        backends = [("segment_tree", "segment_tree")]
+        if scipy_available():
+            backends.append(("sparse", "sparse"))
+            backends.append(("native", _native_backend()))
+        for label, backend in backends:
             other = dcs_greedy(gd, backend=backend)
-            assert other.density == pytest.approx(reference.density), backend
-            assert other.subset == reference.subset, backend
+            assert other.density == pytest.approx(reference.density), label
+            assert other.subset == reference.subset, label
+            # Theorem-2 beta is a function of the peel trajectory, so
+            # it must survive the backend swap too.
+            if reference.ratio_bound is None:
+                assert other.ratio_bound is None, label
+            else:
+                assert other.ratio_bound == pytest.approx(
+                    reference.ratio_bound
+                ), label
 
     def test_reported_density_is_exact(self, seed, n, p):
         gd = _gd(seed, n, p)
@@ -117,6 +147,7 @@ class TestDCSGAOracle:
         results = {"python": new_sea(gd_plus, backend="python")}
         if scipy_available():
             results["sparse"] = new_sea(gd_plus, backend="sparse")
+            results["native"] = new_sea(gd_plus, backend=_native_backend())
         for backend, result in results.items():
             assert result.objective >= 0.0, backend
             assert result.is_positive_clique, backend
@@ -131,6 +162,13 @@ class TestDCSGAOracle:
             assert results["sparse"].objective == pytest.approx(
                 results["python"].objective, rel=1e-6
             )
+            # The native kernels replay the sparse float operations in
+            # the same order: NewSEA parity is bitwise, not approx.
+            native, sparse = results["native"], results["sparse"]
+            assert native.support == sparse.support
+            assert native.objective == sparse.objective
+            assert native.x == sparse.x
+            assert native.initializations == sparse.initializations
 
     def test_seacd_refine_pipeline_parity(self, seed, n, p):
         gd_plus = _gd(seed, n, p).positive_part()
@@ -149,6 +187,15 @@ class TestDCSGAOracle:
             x_sp, objective_sp, _, _ = refine_csr(gd_plus, sp.x)
             assert objective_sp == pytest.approx(refined.objective, rel=1e-6)
             assert check_kkt(gd_plus, x_sp, tol=KKT_TOL).is_kkt
+            # Native seacd/refine run the same orchestration with the
+            # kernel coordinate descent plugged in: bitwise parity.
+            native = _native_backend()
+            nat_sea = native.seacd(gd_plus, {start: 1.0})
+            assert nat_sea.x == sp.x
+            assert nat_sea.objective == sp.objective
+            nat_ref = native.refine(gd_plus, nat_sea.x)
+            assert nat_ref.x == x_sp
+            assert nat_ref.objective == objective_sp
 
     def test_replicator_backends_agree(self, seed, n, p):
         gd_plus = _gd(seed, n, p).positive_part()
@@ -162,6 +209,16 @@ class TestDCSGAOracle:
         if scipy_available():
             sp = replicator_dynamics(gd_plus, dict(uniform), backend="sparse")
             assert sp.objective == pytest.approx(py.objective, rel=1e-6)
+            nat = replicator_dynamics(
+                gd_plus, dict(uniform), backend=_native_backend()
+            )
+            # Same trajectory: identical iteration counts and supports;
+            # the objective is a BLAS dot vs a sequential dot, so it is
+            # pinned to 1e-9 rather than bitwise.
+            assert nat.iterations == sp.iterations
+            assert nat.converged == sp.converged
+            assert set(nat.x) == set(sp.x)
+            assert nat.objective == pytest.approx(sp.objective, rel=1e-9)
 
 
 @needs_scipy
@@ -252,6 +309,9 @@ class TestTopKOracle:
         assert [r.objective for r in sp] == pytest.approx(
             [r.objective for r in py], rel=1e-6
         )
+        nat = top_k_dcsga(gd_plus, 3, backend=_native_backend())
+        assert [r.subset for r in nat] == [r.subset for r in sp]
+        assert [r.objective for r in nat] == [r.objective for r in sp]
         for item in py:
             assert is_clique(gd_plus, item.subset)
             assert item.embedding is not None
