@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service bench-sessions serve-smoke session-smoke obs-smoke bench docs-check check
+.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service bench-sessions bench-scale serve-smoke session-smoke obs-smoke scale-smoke bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
@@ -48,7 +48,7 @@ lint:
 ## 32-query sweep), and 8-tenant session throughput over 8 naive
 ## replays (>= 3x events/sec) — all with answer-parity checks.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py benchmarks/bench_service.py benchmarks/bench_sessions.py -q
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_streaming.py benchmarks/bench_batch.py benchmarks/bench_service.py benchmarks/bench_sessions.py benchmarks/bench_service_scale.py -q
 
 ## Streaming benchmark only — incremental engine vs naive recompute,
 ## alert parity and the >= 3x speedup gate.
@@ -81,6 +81,20 @@ bench-sessions:
 ## (create, event batches, cursor + long-poll alerts, info, close).
 session-smoke:
 	$(PYTHON) examples/stream_session_client.py
+
+## Cluster smoke: spawn `repro serve --workers 2`, walk the sharded
+## topology (owner routing, shared-memory attach, session sid routing,
+## merged /metrics), check byte-identity against --workers 1 and clean
+## /dev/shm teardown on SIGTERM.
+scale-smoke:
+	$(PYTHON) examples/scale_smoke.py
+
+## Multi-worker scale-out benchmark only — concurrent mixed traffic
+## against 1 process vs a 4-worker cluster: sustained-throughput floor
+## (CPU-count-aware), p95 report, byte-identical probe envelopes,
+## prepare-once-per-host counters, clean segment teardown.
+bench-scale:
+	$(PYTHON) -m pytest benchmarks/bench_service_scale.py -q
 
 ## Observability smoke: spawn a real server, assert X-Request-Id
 ## echo/generation, traced per-phase solve timings, and a valid

@@ -17,10 +17,11 @@ are the comparison target.
 from __future__ import annotations
 
 import functools
+import json
 import os
 import pathlib
 import time
-from typing import Callable, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 #: Scale factor applied to every dataset builder.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
@@ -28,12 +29,30 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
-def emit(name: str, text: str) -> None:
-    """Print an artefact and persist it under benchmarks/output/."""
+def emit(
+    name: str, text: str, data: Optional[Dict[str, Any]] = None
+) -> None:
+    """Print an artefact and persist it under benchmarks/output/.
+
+    *data* additionally writes a machine-readable
+    ``BENCH_<name>.json`` next to the text artefact — timings,
+    speedups and gate verdicts that CI uploads and trend tooling can
+    consume without parsing the rendered table.  Non-JSON values are
+    stringified rather than refused: the record is a telemetry
+    artefact, never an input.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n[written to {path}]")
+    if data is not None:
+        json_path = OUTPUT_DIR / f"BENCH_{name}.json"
+        json_path.write_text(
+            json.dumps(data, indent=2, sort_keys=True, default=str)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[machine-readable record in {json_path}]")
 
 
 def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:

@@ -165,6 +165,23 @@ def test_batch_speedup_parity_and_cache(benchmark):
         table.render()
         + f"\nspeedup over serial loop: {speedup:.2f}x"
         + f"\n[per-query records in benchmarks/output/{artefact.name}]",
+        data={
+            "serial_seconds": data["serial_seconds"],
+            "batch_seconds": data["batch_seconds"],
+            "resubmit_seconds": data["resubmit_seconds"],
+            "speedup": speedup,
+            "mode": first.mode,
+            "gates": {
+                "all_ok": all(r.status == "ok" for r in results),
+                "byte_identical": _canonical(
+                    [r.payload for r in results]
+                ) == _canonical(data["serial_payloads"]),
+                "speedup_floor_2x": speedup >= 2.0,
+                "resubmit_all_cached": all(
+                    r.cached for r in data["resubmitted"]
+                ),
+            },
+        },
     )
 
     # Gate 1: every query answered, in input order.

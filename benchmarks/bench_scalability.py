@@ -224,7 +224,22 @@ def test_scalability(benchmark):
                 f"{row['t_ga']:.4f}",
             ]
         )
-    emit("scalability", table.render())
+    emit(
+        "scalability",
+        table.render(),
+        data={
+            "rows": [
+                {
+                    "n": row["n"],
+                    "m": row["m"],
+                    "build_seconds": row["t_build"],
+                    "dcsad_seconds": row["t_ad"],
+                    "dcsga_seconds": row["t_ga"],
+                }
+                for row in rows
+            ],
+        },
+    )
 
     backend_table = Table(
         title="Backend speedup (planted emerging community)",
@@ -258,7 +273,40 @@ def test_scalability(benchmark):
                 ),
             ]
         )
-    emit("scalability_backends", backend_table.render())
+    largest = backend_rows[-1]
+    emit(
+        "scalability_backends",
+        backend_table.render(),
+        data={
+            "rows": [
+                {
+                    "n": row["n"],
+                    "k": row["k"],
+                    "m": row["m"],
+                    "python_seconds": row["t_py"],
+                    "sparse_seconds": row["t_sp"],
+                    "native_seconds": row["t_nat"],
+                    "speedup_ga": row["speedup_ga"],
+                    "speedup_rep": row["speedup_rep"],
+                    "speedup_native": row["speedup_nat"],
+                }
+                for row in backend_rows
+            ],
+            "gates": {
+                "sparse_floor": largest["speedup_ga"] >= SPEEDUP_FLOOR
+                and largest["speedup_rep"] >= SPEEDUP_FLOOR,
+                "native_floor": (
+                    None
+                    if largest["t_nat"] is None
+                    else largest["speedup_nat"] >= NATIVE_SPEEDUP_FLOOR
+                ),
+                "answers_agree": all(
+                    row["support_equal"] and row["subset_equal"]
+                    for row in backend_rows
+                ),
+            },
+        },
+    )
 
     # Quasi-linear growth check for DCSGreedy: when the input grows by
     # factor g, time grows by at most ~g^1.5 (generous slack for noise on

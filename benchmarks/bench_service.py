@@ -252,6 +252,24 @@ def test_service_warm_throughput_and_byte_identity(
         f"{metrics['cache']['hit_rate']:.2f}, warm prepared: "
         f"{metrics['warm']['prepared']}, p95 latency: "
         f"{metrics['latency']['p95_seconds'] * 1000:.1f} ms",
+        data={
+            "cli_seconds": cli_seconds,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "p95_seconds": metrics["latency"]["p95_seconds"],
+            "cache_hit_rate": metrics["cache"]["hit_rate"],
+            "gates": {
+                "all_ok": all(
+                    b["status"] == "ok" for b in cold_bodies + warm_bodies
+                ),
+                "warm_all_cached": all(b["cached"] for b in warm_bodies),
+                "byte_identical": [
+                    _strip(b["result"]) for b in cold_bodies
+                ] == [_strip(r) for r in cli_records],
+                "speedup_floor_5x": speedup >= 5.0,
+            },
+        },
     )
 
     # Gate 1: every request answered, warm pass fully cached.

@@ -154,7 +154,23 @@ def test_sessions(benchmark):
             peak_charge,
         ]
     )
-    emit("sessions", table.render())
+    emit(
+        "sessions",
+        table.render(),
+        data={
+            "tenants": TENANTS,
+            "events": total_events,
+            "naive_seconds": t_naive,
+            "sessions_seconds": t_sessions,
+            "events_per_second": eps_sessions,
+            "speedup": speedup,
+            "peak_charge": peak_charge,
+            "gates": {
+                "peak_charge_positive": peak_charge > 0,
+                "speedup_floor": speedup >= SPEEDUP_FLOOR,
+            },
+        },
+    )
 
     # 1. Per-tenant alert parity: every session saw exactly the alerts
     #    its own naive replay produces — same (step, subset) keys, same

@@ -148,7 +148,31 @@ def test_streaming(benchmark):
                 f"/{row['gated_stats'].full_solves}",
             ]
         )
-    emit("streaming", table.render())
+    emit(
+        "streaming",
+        table.render(),
+        data={
+            "rows": [
+                {
+                    "n": row["n"],
+                    "steps": row["steps"],
+                    "events": row["events"],
+                    "naive_seconds": row["t_naive"],
+                    "engine_seconds": row["t_engine"],
+                    "gated_seconds": row["t_gated"],
+                    "speedup": row["speedup"],
+                }
+                for row in rows
+            ],
+            "gates": {
+                "gated_fewer_solves": all(
+                    row["gated_stats"].full_solves
+                    < row["stats"].full_solves
+                    for row in rows
+                ),
+            },
+        },
+    )
 
     for row in rows:
         mine, naive, gated = row["alerts"], row["naive_alerts"], row["gated_alerts"]

@@ -197,7 +197,7 @@ def _subset_json(subset) -> List[str]:
 def execute_payload(
     kind: str,
     params: Dict[str, Any],
-    payload: Union[Graph, EventLog],
+    payload: Union[Graph, EventLog, PreparedGraph],
     prepared: Optional[PreparedGraph] = None,
 ) -> Dict[str, Any]:
     """Run one query on its prepared input; return the JSON-ready answer.
@@ -212,9 +212,15 @@ def execute_payload(
     adjacencies, built once per fingerprint per process).
     """
     if kind in ("dcsad", "dcsga"):
-        assert isinstance(payload, Graph)
         if prepared is None:
-            prepared = PreparedGraph(payload)
+            if isinstance(payload, PreparedGraph):
+                # The payload arrived already prepared (e.g. the
+                # service's warm registry, possibly attached to a
+                # shared-memory segment) — ride it as-is.
+                prepared = payload
+            else:
+                assert isinstance(payload, Graph)
+                prepared = PreparedGraph(payload)
         return solve(SolveRequest.from_params(kind, params), prepared).payload()
     if kind == "stream":
         from repro.stream.engine import replay_events
@@ -260,8 +266,10 @@ def execute_payload(
 # ----------------------------------------------------------------------
 # worker-side shared state
 # ----------------------------------------------------------------------
-#: fingerprint -> prepared payload (Graph or EventLog), set at pool init.
-_SHARED_PAYLOADS: Dict[str, Union[Graph, EventLog]] = {}
+#: fingerprint -> prepared payload (Graph, EventLog or an
+#: already-built PreparedGraph stub riding a shared-memory segment),
+#: set at pool init.
+_SHARED_PAYLOADS: Dict[str, Union[Graph, EventLog, PreparedGraph]] = {}
 #: fingerprint -> PreparedGraph (GD+ / CSR context), built lazily per
 #: process — one preparation serves every query on the fingerprint,
 #: DCSAD and DCSGA alike.
@@ -269,7 +277,7 @@ _SHARED_PREPARED: Dict[str, PreparedGraph] = {}
 
 
 def _worker_init(
-    payloads: Dict[str, Union[Graph, EventLog]],
+    payloads: Dict[str, Union[Graph, EventLog, PreparedGraph]],
     warm: Tuple[str, ...] = (),
 ) -> None:
     """Pool initializer: receive the shared prep table once per worker.
@@ -297,17 +305,25 @@ def _worker_init(
             backend.warm()
 
 
-def _shared_prepared(fingerprint: str, graph: Graph) -> PreparedGraph:
+def _shared_prepared(
+    fingerprint: str, graph: Union[Graph, PreparedGraph]
+) -> PreparedGraph:
     """The :class:`PreparedGraph` of a fingerprint, created once.
 
     The positive-part walk and the CSR freezes are the per-graph fixed
     costs of graph queries; the prepared context builds each lazily on
     first need and shares them across every query this process serves
-    on the fingerprint — the "prepare exactly once" contract.
+    on the fingerprint — the "prepare exactly once" contract.  A
+    payload that is *already* a :class:`PreparedGraph` (the service's
+    warm registry object, or its shared-memory stub unpickled at pool
+    init) is adopted directly — nothing is rebuilt.
     """
     prepared = _SHARED_PREPARED.get(fingerprint)
     if prepared is None:
-        prepared = PreparedGraph(graph, fingerprint=fingerprint)
+        if isinstance(graph, PreparedGraph):
+            prepared = graph
+        else:
+            prepared = PreparedGraph(graph, fingerprint=fingerprint)
         _SHARED_PREPARED[fingerprint] = prepared
     return prepared
 
@@ -417,7 +433,7 @@ def _run_spec(
 
     def work() -> Dict[str, Any]:
         prepared = None
-        if isinstance(payload, Graph):
+        if isinstance(payload, (Graph, PreparedGraph)):
             prepared = _shared_prepared(spec.fingerprint, payload)
         return execute_payload(
             spec.kind, spec.params, payload, prepared=prepared
@@ -496,7 +512,7 @@ class BatchExecutor:
         queries = assign_qids(queries)
         plan = BatchPlan(queries)
         preps = plan.run_preps()
-        payload_table: Dict[str, Union[Graph, EventLog]] = {
+        payload_table: Dict[str, Union[Graph, EventLog, PreparedGraph]] = {
             prep.fingerprint: prep.payload
             for prep in preps.values()
             if prep.payload is not None

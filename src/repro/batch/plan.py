@@ -29,6 +29,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.batch.queries import BatchQuery
 from repro.core.difference import assemble_difference, cap_weights
+from repro.engine.prepared import PreparedGraph
 from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph
 from repro.graph.io import read_pair
@@ -95,7 +96,7 @@ class PrepOutput:
     """
 
     key: PrepKey
-    payload: Optional[Union[Graph, EventLog]]
+    payload: Optional[Union[Graph, EventLog, PreparedGraph]]
     fingerprint: str
     seconds: float
     qids: List[str] = field(default_factory=list)
@@ -169,6 +170,11 @@ class BatchPlan:
                 continue
             if isinstance(payload, EventLog):
                 fingerprint = event_log_fingerprint(payload)
+            elif isinstance(payload, PreparedGraph):
+                # Already fingerprinted at preparation time (and the
+                # graph may live in a shared-memory segment with no
+                # dict form materialised) — never re-derive.
+                fingerprint = payload.fingerprint
             else:
                 fingerprint = graph_fingerprint(payload)
             outputs[key] = PrepOutput(
@@ -184,7 +190,7 @@ class BatchPlan:
 def _build_payload(
     query: BatchQuery,
     pair_cache: Dict[Tuple[str, str], Tuple[Graph, Graph]],
-) -> Union[Graph, EventLog]:
+) -> Union[Graph, EventLog, PreparedGraph]:
     source = query.source
     if source.kind == "events":
         return read_events(source.events)

@@ -30,10 +30,23 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    IO,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.engine.prepared import PreparedGraph
 
 #: Query kinds (``"stream"`` is accepted as ``"stream_replay"`` too).
 KINDS = ("dcsad", "dcsga", "stream")
@@ -65,7 +78,9 @@ class GraphSource:
     dataset: Optional[str] = None
     scale: float = 1.0
     events: Optional[str] = None
-    graph: Optional[Graph] = field(default=None, compare=False)
+    graph: Optional[Union[Graph, "PreparedGraph"]] = field(
+        default=None, compare=False
+    )
     pair: Optional[Tuple[Graph, Graph]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -99,7 +114,9 @@ class GraphSource:
         return cls(kind="events", events=str(events))
 
     @classmethod
-    def from_graph(cls, graph: Graph) -> "GraphSource":
+    def from_graph(
+        cls, graph: Union[Graph, "PreparedGraph"]
+    ) -> "GraphSource":
         return cls(kind="inline", graph=graph)
 
     @classmethod
@@ -260,7 +277,9 @@ def query_to_dict(query: BatchQuery) -> Dict[str, Any]:
 def query_from_dict(
     record: Dict[str, Any],
     qid: str = "",
-    graph_resolver: Optional[Callable[[str], Graph]] = None,
+    graph_resolver: Optional[
+        Callable[[str], Union[Graph, "PreparedGraph"]]
+    ] = None,
 ) -> BatchQuery:
     """Parse one query object (inverse of :func:`query_to_dict`).
 

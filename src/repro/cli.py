@@ -218,7 +218,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="concurrent solve workers (default 1)",
+        help="worker processes; 1 (default) serves in-process, N >= 2 "
+        "spawns N solver processes behind a router that shards graphs "
+        "by reference and shares prepared CSR arrays via /dev/shm",
     )
     serve.add_argument(
         "--max-pending",
@@ -541,6 +543,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs.logs import configure_logging
 
         configure_logging(level=args.log_level or "info")
+
+    if args.workers >= 2:
+        # Multi-process scale-out: a router in front of N full service
+        # workers, graphs sharded by reference and shared zero-copy
+        # via /dev/shm (repro.service.cluster).  Each worker process
+        # warms its backends itself; the persistent result cache stays
+        # single-process-only (each worker keeps an in-memory cache).
+        from repro.service.cluster import run_cluster
+
+        if args.cache_dir:
+            print(
+                "# --cache-dir is ignored with --workers >= 2 "
+                "(per-worker in-memory caches)",
+                file=sys.stderr,
+            )
+        try:
+            return run_cluster(
+                args.workers,
+                host=args.host,
+                port=args.port,
+                app_options={
+                    "max_pending": args.max_pending,
+                    "timeout": args.timeout,
+                    "warm_capacity": args.warm_capacity,
+                    "scale": args.scale,
+                    "max_sessions": args.max_sessions,
+                    "session_ttl": args.session_ttl,
+                    "session_budget_cells": args.session_budget,
+                    "access_log": args.access_log,
+                    "slow_query_seconds": args.slow_query,
+                    "log_level": args.log_level,
+                },
+                banner=lambda host, port: print(
+                    f"# repro serve listening on http://{host}:{port}",
+                    flush=True,
+                ),
+            )
+        except (ValueError, OSError, RuntimeError) as exc:
+            raise SystemExit(str(exc))
 
     try:
         cache = ResultCache(args.cache_dir) if args.cache_dir else None

@@ -31,12 +31,13 @@ backend's structures); :meth:`require_csr` raises the standard
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.engine.shm import SharedGraphSegment
     from repro.graph.sparse import CSRAdjacency
 
 
@@ -49,6 +50,7 @@ class PreparedGraph:
         "_csr",
         "_csr_plus",
         "_fingerprint",
+        "_shared",
         "plus_builds",
         "csr_builds",
         "fingerprint_builds",
@@ -60,11 +62,15 @@ class PreparedGraph:
         fingerprint: Optional[str] = None,
         gd_plus: Optional[Graph] = None,
     ) -> None:
-        self._gd = gd
+        self._gd: Optional[Graph] = gd
         self._gd_plus = gd_plus
         self._csr: Optional["CSRAdjacency"] = None
         self._csr_plus: Optional["CSRAdjacency"] = None
         self._fingerprint = fingerprint
+        #: the shared-memory segment backing the CSR artefacts, when the
+        #: preparation was exported to / attached from the zero-copy
+        #: store (:mod:`repro.engine.shm`); None for private buffers
+        self._shared: Optional["SharedGraphSegment"] = None
         #: how many times GD+ was actually constructed (0 or 1)
         self.plus_builds = 0
         #: how many CSR freezes happened (at most one per graph)
@@ -100,17 +106,44 @@ class PreparedGraph:
     # ------------------------------------------------------------------
     @property
     def gd(self) -> Graph:
-        """The difference graph itself (never copied)."""
+        """The difference graph itself (never copied).
+
+        Shared-memory preparations start without the dict-of-dicts form
+        and reconstruct it from the zero-copy CSR on first access — the
+        CSR stores weights bit-exact, so the reconstruction fingerprints
+        identically to the graph the owner originally froze.
+        """
+        if self._gd is None:
+            if self._csr is None:
+                raise InputMismatchError(
+                    "preparation has neither a graph nor a CSR to "
+                    "reconstruct it from"
+                )
+            from repro.engine.shm import graph_from_csr
+            from repro.obs.trace import current_tracer
+
+            with current_tracer().span("prepare.gd_from_shared"):
+                self._gd = graph_from_csr(self._csr)
         return self._gd
 
     @property
     def gd_plus(self) -> Graph:
         """``GD+`` — built on first access, shared forever after."""
         if self._gd_plus is None:
+            if self._gd is None and self._csr_plus is not None:
+                # Shared-memory preparation: GD+ reconstructs straight
+                # from its own CSR view, skipping the GD round-trip.
+                from repro.engine.shm import graph_from_csr
+                from repro.obs.trace import current_tracer
+
+                with current_tracer().span("prepare.gd_from_shared"):
+                    self._gd_plus = graph_from_csr(self._csr_plus)
+                self.plus_builds += 1
+                return self._gd_plus
             from repro.obs.trace import current_tracer
 
             with current_tracer().span("prepare.gd_plus"):
-                self._gd_plus = self._gd.positive_part()
+                self._gd_plus = self.gd.positive_part()
             self.plus_builds += 1
         return self._gd_plus
 
@@ -131,7 +164,7 @@ class PreparedGraph:
             from repro.obs.trace import current_tracer
 
             with current_tracer().span("prepare.fingerprint"):
-                self._fingerprint = graph_fingerprint(self._gd)
+                self._fingerprint = graph_fingerprint(self.gd)
             self.fingerprint_builds += 1
         return self._fingerprint
 
@@ -143,7 +176,7 @@ class PreparedGraph:
             from repro.obs.trace import current_tracer
 
             with current_tracer().span("prepare.csr"):
-                self._csr = CSRAdjacency.from_graph(self._gd)
+                self._csr = CSRAdjacency.from_graph(self.gd)
             self.csr_builds += 1
         return self._csr
 
@@ -187,6 +220,65 @@ class PreparedGraph:
         return found
 
     # ------------------------------------------------------------------
+    # shared-memory integration
+    # ------------------------------------------------------------------
+    @property
+    def shm_segment(self) -> Optional["SharedGraphSegment"]:
+        """The backing shared segment, if any (diagnostic/accounting)."""
+        return self._shared
+
+    @property
+    def shared_attached(self) -> bool:
+        """True when this preparation *attached* an existing segment.
+
+        The registry charges attached preparations zero cells — the
+        owner (exporter) already pays for the host's single copy.
+        """
+        return self._shared is not None and not self._shared.created
+
+    def adopt_segment(self, segment: "SharedGraphSegment") -> None:
+        """Swap the CSR artefacts for zero-copy views on *segment*.
+
+        Called by the exporting owner right after
+        :meth:`~repro.engine.shm.SharedGraphStore.export`: the private
+        CSR buffers are dropped in favour of the shared copy, so pickling
+        this preparation (batch pool workers) ships an attach stub and
+        the host holds exactly one copy of the arrays.
+        """
+        self._shared = segment
+        self._csr = segment.csr()
+        self._csr_plus = segment.csr_plus()
+
+    def release(self) -> bool:
+        """Drop the shared segment mapping (registry eviction hook).
+
+        Decrements the segment refcount; the drain-to-zero closer
+        unlinks the name.  Returns True when this release unlinked.
+        No-op for private (non-shared) preparations.
+        """
+        if self._shared is None:
+            return False
+        segment, self._shared = self._shared, None
+        return segment.close()
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        """Shared preparations pickle as an attach stub (segment name).
+
+        Batch pool workers unpickle by mapping the same segment instead
+        of deserialising private copies of the buffers.  Private
+        preparations reduce to their constructor arguments — the CSR
+        caches are derived state the receiver rebuilds on demand.
+        """
+        if self._shared is not None:
+            from repro.engine.shm import _rebuild_prepared
+
+            return (_rebuild_prepared, (self._shared.name,))
+        return (
+            PreparedGraph,
+            (self._gd, self._fingerprint, self._gd_plus),
+        )
+
+    # ------------------------------------------------------------------
     # safety
     # ------------------------------------------------------------------
     def check_owns(self, gd: Graph) -> None:
@@ -203,6 +295,9 @@ class PreparedGraph:
 
     def __repr__(self) -> str:
         plus = "built" if self._gd_plus is not None else "lazy"
+        if self._gd is None:
+            shared = self._shared.name if self._shared is not None else "?"
+            return f"<PreparedGraph shared={shared} gd=lazy gd_plus={plus}>"
         return (
             f"<PreparedGraph n={self._gd.num_vertices} "
             f"m={self._gd.num_edges} gd_plus={plus} "

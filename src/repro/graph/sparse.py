@@ -107,6 +107,7 @@ class CSRAdjacency:
         "indptr",
         "indices",
         "data",
+        "shm_source",
         "_local_map",
     )
 
@@ -119,6 +120,11 @@ class CSRAdjacency:
         self.indptr = matrix.indptr
         self.indices = matrix.indices
         self.data = matrix.data
+        #: ``(segment_name, "gd"|"plus")`` when the arrays are views on a
+        #: shared-memory segment (:mod:`repro.engine.shm`); None for
+        #: privately-owned buffers.  Drives the pickle-as-attach-stub
+        #: path in :meth:`__reduce__`.
+        self.shm_source: Optional[Tuple[str, str]] = None
         #: reusable global->local scatter buffer for :meth:`dense_block`
         self._local_map: Optional[np.ndarray] = None
 
@@ -192,7 +198,16 @@ class CSRAdjacency:
         (the ``index`` map and the ``dense_block`` scratch buffer are
         derived state) and guarantees the raw ``indptr``/``indices``/
         ``data`` views are re-bound to the unpickled matrix.
+
+        Shared-memory-backed adjacencies pickle as an *attach stub*
+        (segment name + which view) instead: the receiving process maps
+        the same segment read-only rather than deserialising a private
+        copy of the buffers.
         """
+        if self.shm_source is not None:
+            from repro.engine.shm import _rebuild_csr
+
+            return (_rebuild_csr, self.shm_source)
         return (self.__class__, (self.vertices, self.matrix))
 
     # ------------------------------------------------------------------

@@ -20,7 +20,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-__all__ = ["render_exposition", "parse_exposition"]
+__all__ = [
+    "render_exposition",
+    "render_multi_exposition",
+    "parse_exposition",
+]
 
 _PREFIX = "repro"
 
@@ -40,10 +44,21 @@ def _format_value(value: float) -> str:
 
 
 class _Writer:
-    """Accumulates families; guarantees HELP/TYPE precede samples."""
+    """Accumulates families; guarantees grouped, HELP/TYPE-led output.
 
-    def __init__(self) -> None:
-        self.lines: List[str] = []
+    Samples are collected per family and emitted grouped in :meth:`text`
+    — the exposition format forbids interleaving a family's samples —
+    so the cluster router can render several per-worker snapshots into
+    one writer (each stamped with its ``{"worker": "<id>"}`` labels via
+    *extra_labels*) and still produce a single valid scrape.
+    """
+
+    def __init__(
+        self, extra_labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        self.extra_labels = dict(extra_labels or {})
+        self._order: List[str] = []
+        self._families: Dict[str, Dict[str, Any]] = {}
 
     def family(
         self,
@@ -54,27 +69,68 @@ class _Writer:
     ) -> None:
         if not samples:
             return
-        self.lines.append(f"# HELP {name} {help_text}")
-        self.lines.append(f"# TYPE {name} {kind}")
+        entry = self._families.get(name)
+        if entry is None:
+            entry = {"kind": kind, "help": help_text, "samples": []}
+            self._families[name] = entry
+            self._order.append(name)
         for labels, value in samples:
-            if labels:
-                rendered = ",".join(
-                    f'{key}="{_escape_label(text)}"'
-                    for key, text in sorted(labels.items())
-                )
-                self.lines.append(
-                    f"{name}{{{rendered}}} {_format_value(value)}"
-                )
-            else:
-                self.lines.append(f"{name} {_format_value(value)}")
+            entry["samples"].append(({**self.extra_labels, **labels}, value))
 
     def text(self) -> str:
-        return "\n".join(self.lines) + "\n"
+        lines: List[str] = []
+        for name in self._order:
+            entry = self._families[name]
+            lines.append(f"# HELP {name} {entry['help']}")
+            lines.append(f"# TYPE {name} {entry['kind']}")
+            for labels, value in entry["samples"]:
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape_label(text)}"'
+                        for key, text in sorted(labels.items())
+                    )
+                    lines.append(
+                        f"{name}{{{rendered}}} {_format_value(value)}"
+                    )
+                else:
+                    lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
 
 
-def render_exposition(snapshot: Mapping[str, Any]) -> str:
-    """The ``/metrics`` JSON snapshot as Prometheus text exposition."""
+def render_exposition(
+    snapshot: Mapping[str, Any],
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """The ``/metrics`` JSON snapshot as Prometheus text exposition.
+
+    *extra_labels* (e.g. ``{"worker": "2"}``) are merged into every
+    sample's label set — the multi-worker router uses this to expose
+    per-worker series under one scrape.
+    """
+    w = _Writer(extra_labels)
+    _render_into(w, snapshot)
+    return w.text()
+
+
+def render_multi_exposition(
+    labeled_snapshots: List[Tuple[Dict[str, str], Mapping[str, Any]]],
+) -> str:
+    """Several labelled snapshots as one valid exposition.
+
+    The cluster's ``/metrics`` renders each worker's snapshot with its
+    ``worker`` label into one shared writer, keeping every family's
+    samples grouped under a single HELP/TYPE header as the format
+    requires.
+    """
     w = _Writer()
+    for labels, snapshot in labeled_snapshots:
+        w.extra_labels = dict(labels)
+        _render_into(w, snapshot)
+    w.extra_labels = {}
+    return w.text()
+
+
+def _render_into(w: _Writer, snapshot: Mapping[str, Any]) -> None:
     p = _PREFIX
     w.family(
         f"{p}_uptime_seconds", "gauge",
@@ -180,7 +236,6 @@ def render_exposition(snapshot: Mapping[str, Any]) -> str:
             "Alerts emitted across all sessions since start.",
             [({}, float(sessions["alerts"]))],
         )
-    return w.text()
 
 
 def parse_exposition(

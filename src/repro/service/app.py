@@ -231,6 +231,16 @@ class ServiceApp:
         ``repro.service.slow``.  ``None`` (the default) disables the
         check entirely so the default service stays silent (WARNING
         would otherwise reach logging's last-resort handler).
+    worker_id / shm_store / on_export:
+        Cluster wiring (``repro serve --workers N``).  *worker_id*
+        tags metrics snapshots and access-log records and prefixes
+        stream-session ids (``w3-1``) so the router can route by sid
+        alone.  *shm_store* / *on_export* are forwarded to the default
+        :class:`GraphRegistry` so cold builds export their CSR arrays
+        into shared memory and announce the segment to siblings
+        (ignored when a registry is injected).  All default to off —
+        a plain single-process ``ServiceApp()`` is byte-identical to
+        previous releases.
     """
 
     def __init__(
@@ -250,11 +260,15 @@ class ServiceApp:
         session_budget_cells: Optional[int] = None,
         access_log: bool = False,
         slow_query_seconds: Optional[float] = None,
+        worker_id: Optional[int] = None,
+        shm_store: Optional[Any] = None,
+        on_export: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        self.worker_id = worker_id
         self.registry = (
             registry
             if registry is not None
@@ -262,11 +276,16 @@ class ServiceApp:
                 capacity=warm_capacity,
                 scale=scale,
                 budget_cells=session_budget_cells,
+                shm_store=shm_store,
+                on_export=on_export,
             )
         )
         self.cache = cache if cache is not None else ResultCache()
         self.sessions = SessionManager(
-            self.registry, max_sessions=max_sessions, ttl=session_ttl
+            self.registry,
+            max_sessions=max_sessions,
+            ttl=session_ttl,
+            sid_prefix="s" if worker_id is None else f"w{worker_id}",
         )
         self.metrics = ServiceMetrics()
         self.workers = workers
@@ -452,17 +471,17 @@ class ServiceApp:
         route = self._route_label(request.path)
         self.metrics.observe_request(route, response.status)
         if self.access_log:
-            _access_log.info(
-                "access",
-                extra={
-                    "request_id": request_id,
-                    "method": request.method,
-                    "path": request.path,
-                    "route": route,
-                    "status": response.status,
-                    "seconds": round(time.perf_counter() - start, 6),
-                },
-            )
+            extra = {
+                "request_id": request_id,
+                "method": request.method,
+                "path": request.path,
+                "route": route,
+                "status": response.status,
+                "seconds": round(time.perf_counter() - start, 6),
+            }
+            if self.worker_id is not None:
+                extra["worker"] = self.worker_id
+            _access_log.info("access", extra=extra)
         return response
 
     async def _route_guarded(self, request: HttpRequest) -> HttpResponse:
@@ -632,6 +651,9 @@ class ServiceApp:
             warm_evictions=self.registry.evictions,
             pending=self.pending,
             sessions=self.sessions.snapshot(),
+            cold_builds=self.registry.cold_builds,
+            shared_attaches=self.registry.shared_attaches,
+            worker=self.worker_id,
         )
         # Content negotiation: ?format=prometheus or an Accept header
         # asking for text/plain gets the text exposition; everything
@@ -895,12 +917,14 @@ class ServiceApp:
 
         def parse() -> List[BatchQuery]:
             def resolve_graph(ref: str) -> Any:
-                # NOTE: only the assembled GD is handed to the executor;
-                # the executor re-fingerprints and re-prepares it per
-                # submission (its own per-run tables).  Reusing the warm
-                # PreparedGraph across submissions would need a prepared
-                # table seam in BatchExecutor — a known optimisation.
-                return self.registry.resolve(ref).gd
+                # The warm PreparedGraph itself is handed to the
+                # executor: the plan adopts its fingerprint (no
+                # re-derivation), the serial path solves on it
+                # directly, and the pooled path pickles it — which for
+                # a shared-memory-backed preparation is a tiny stub
+                # that re-attaches the same segment in each pool
+                # worker instead of re-pickling the CSR buffers.
+                return self.registry.resolve(ref)
 
             return assign_qids(
                 query_from_dict(record, graph_resolver=resolve_graph)

@@ -21,13 +21,14 @@ import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, Optional
-from urllib.parse import parse_qsl, urlsplit
+from urllib.parse import parse_qsl, urlencode, urlsplit
 
 __all__ = [
     "HttpError",
     "HttpRequest",
     "HttpResponse",
     "read_request",
+    "send_request",
     "serve_http",
     "write_response",
 ]
@@ -49,6 +50,8 @@ _REASONS: Dict[int, str] = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -193,6 +196,89 @@ async def write_response(
         head.append(f"{name}: {value}")
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
     await writer.drain()
+
+
+#: response headers the forwarding proxy recomputes rather than relays
+_HOP_HEADERS = frozenset({"content-type", "content-length", "connection"})
+
+
+async def send_request(
+    host: str,
+    port: int,
+    request: HttpRequest,
+    timeout: Optional[float] = None,
+) -> HttpResponse:
+    """Send *request* to ``host:port`` and parse the one response.
+
+    The client side of the protocol this module serves — the cluster
+    router uses it to forward a parsed request to the owning worker
+    verbatim (one request per connection, ``Connection: close``).  The
+    worker's body bytes are relayed untouched (as a verbatim-text
+    payload with the worker's ``Content-Type``), so the envelopes a
+    client receives through the router are byte-identical to talking to
+    the worker — or a single-process server — directly.
+
+    Raises ``ConnectionError`` / ``asyncio.TimeoutError`` upwards; the
+    caller owns retry and 502/503 mapping.
+    """
+    reader, writer = await asyncio.open_connection(host=host, port=port)
+    try:
+        target = request.path
+        if request.query:
+            target += "?" + urlencode(request.query)
+        head = [
+            f"{request.method} {target} HTTP/1.1",
+            f"Host: {host}:{port}",
+            f"Content-Length: {len(request.body)}",
+            "Connection: close",
+        ]
+        for name, value in request.headers.items():
+            if name.lower() in ("host", "content-length", "connection"):
+                continue
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + request.body
+        )
+        await writer.drain()
+        return await asyncio.wait_for(_read_response(reader), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+async def _read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one ``Connection: close`` response from a worker."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ConnectionError(f"malformed status line: {lines[0]!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    relayed = {
+        name: value
+        for name, value in headers.items()
+        if name not in _HOP_HEADERS
+    }
+    return HttpResponse(
+        status=status,
+        payload=body.decode("utf-8") if body else None,
+        headers=relayed,
+        content_type=headers.get(
+            "content-type", "application/json; charset=utf-8"
+        ),
+    )
 
 
 async def _handle_connection(

@@ -148,6 +148,9 @@ class ServiceMetrics:
         warm_evictions: int,
         pending: int,
         sessions: Optional[Dict[str, Any]] = None,
+        cold_builds: int = 0,
+        shared_attaches: int = 0,
+        worker: Optional[int] = None,
     ) -> Dict[str, Any]:
         """The JSON the ``/metrics`` route serves.
 
@@ -158,6 +161,14 @@ class ServiceMetrics:
         (``loop``, ``solve_phases``) are new keys alongside them — and
         the Prometheus text form is derived from this same dict by
         :func:`repro.obs.prometheus.render_exposition`.
+
+        *cold_builds* / *shared_attaches* extend the ``warm`` section
+        with the zero-copy topology counters (how many full prepare
+        passes this process paid vs. how many preparations it served by
+        attaching a sibling's shared segment); *worker* tags the whole
+        snapshot with this process's cluster worker id, which the
+        router surfaces as the ``worker`` label when it merges
+        per-worker snapshots.
         """
         lookups = cache_hits + cache_misses
         with self._lock:
@@ -190,6 +201,8 @@ class ServiceMetrics:
                     "capacity": warm_capacity,
                     "hits": warm_hits,
                     "evictions": warm_evictions,
+                    "cold_builds": cold_builds,
+                    "shared_attaches": shared_attaches,
                 },
                 "latency": {
                     "observations": self.latency.count,
@@ -207,4 +220,6 @@ class ServiceMetrics:
             }
         if sessions is not None:
             snapshot["sessions"] = sessions
+        if worker is not None:
+            snapshot["worker"] = worker
         return snapshot

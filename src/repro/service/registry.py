@@ -27,7 +27,7 @@ from __future__ import annotations
 import io
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.difference import assemble_difference
 from repro.engine.prepared import PreparedGraph
@@ -35,7 +35,15 @@ from repro.exceptions import InputMismatchError
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.engine.shm import SharedGraphStore
+
 __all__ = ["GraphRegistry"]
+
+#: callback fired after a cold build is exported to shared memory:
+#: ``(ref, fingerprint, segment_name)`` — cluster workers announce the
+#: segment to their siblings through this.
+ExportHook = Callable[[str, str, str], None]
 
 
 class GraphRegistry:
@@ -53,6 +61,8 @@ class GraphRegistry:
         scale: float = 0.25,
         max_uploads: int = 64,
         budget_cells: Optional[int] = None,
+        shm_store: Optional["SharedGraphStore"] = None,
+        on_export: Optional[ExportHook] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("warm capacity must be at least 1")
@@ -69,10 +79,18 @@ class GraphRegistry:
         #: disables shedding.  Session charges count against it, and
         #: warm entries are shed LRU-first while the total overflows.
         self.budget_cells = budget_cells
+        #: zero-copy store: when set, every cold build is exported to a
+        #: shared-memory segment (and announced via *on_export*), and
+        #: names registered through :meth:`register_shared` resolve by
+        #: attaching a sibling worker's segment instead of rebuilding
+        self.shm_store = shm_store
+        self.on_export = on_export
         #: name -> warm preparation, most recently used last
         self._warm: "OrderedDict[str, PreparedGraph]" = OrderedDict()
         #: uploaded difference graphs by name (eviction-safe source)
         self._uploads: Dict[str, Graph] = {}
+        #: name -> announced shared-segment name (attach lazily on use)
+        self._shared_refs: Dict[str, str] = {}
         #: owner -> cells currently charged (stream sessions and other
         #: resident state report their footprint here so the one LRU
         #: arbitrates all of the service's graph memory)
@@ -81,6 +99,11 @@ class GraphRegistry:
         self.resolutions = 0
         self.warm_hits = 0
         self.evictions = 0
+        #: full prepare passes actually paid by this process — the
+        #: prepare-once-per-host assertion sums this across workers
+        self.cold_builds = 0
+        #: preparations served by attaching a sibling's segment
+        self.shared_attaches = 0
 
     # ------------------------------------------------------------------
     # uploads
@@ -124,6 +147,7 @@ class GraphRegistry:
         )
         prepared = PreparedGraph(gd)
         prepared.fingerprint  # noqa: B018 - eagerly pay the content hash
+        self._finish_cold_build(name, prepared)
         with self._lock:
             if (
                 name not in self._uploads
@@ -134,15 +158,71 @@ class GraphRegistry:
                     "graphs); forget() one before registering more"
                 )
             self._uploads[name] = gd
-            self._warm.pop(name, None)
+            evicted = self._warm.pop(name, None)
             self._admit(name, prepared)
+        if evicted is not None and evicted is not prepared:
+            self._release(evicted)
         return prepared
 
     def forget(self, name: str) -> bool:
         """Drop an uploaded graph (and its warm entry); True if present."""
         with self._lock:
-            self._warm.pop(name, None)
-            return self._uploads.pop(name, None) is not None
+            dropped = self._warm.pop(name, None)
+            self._shared_refs.pop(name, None)
+            present = self._uploads.pop(name, None) is not None
+        if dropped is not None:
+            self._release(dropped)
+        return present
+
+    # ------------------------------------------------------------------
+    # shared-memory topology
+    # ------------------------------------------------------------------
+    def register_shared(
+        self, name: str, fingerprint: str, segment_name: str
+    ) -> None:
+        """Record that *name* is served from a sibling's shared segment.
+
+        Cluster workers call this when the router broadcasts another
+        worker's export announcement.  The attach itself is lazy — it
+        happens on the first :meth:`resolve` of *name* — so a worker
+        that never sees traffic for the graph never maps it.  A warm
+        entry whose fingerprint already matches is left alone.
+        """
+        with self._lock:
+            warm = self._warm.get(name)
+            if (
+                warm is not None
+                and warm.cached_fingerprint != fingerprint
+            ):
+                # Stale preparation under this name (e.g. re-upload):
+                # drop it so the next resolve attaches the new content.
+                self._warm.pop(name, None)
+                warm.release()
+            self._shared_refs[name] = segment_name
+
+    def _finish_cold_build(self, name: str, prepared: PreparedGraph) -> None:
+        """Count a paid prepare pass and export it to shared memory.
+
+        Runs outside the lock (export copies the CSR arrays once).  On
+        export the preparation adopts the segment views — the host then
+        holds exactly one copy of the frozen arrays — and *on_export*
+        announces the segment so sibling workers can attach.
+        """
+        self.cold_builds += 1
+        if self.shm_store is None:
+            return
+        from repro.exceptions import BackendUnavailableError
+
+        try:
+            segment = self.shm_store.export(prepared)
+        except (BackendUnavailableError, OSError):  # pragma: no cover
+            # Shared memory is an optimisation; never fail the build.
+            return
+        prepared.adopt_segment(segment)
+        with self._lock:
+            self._shared_refs[name] = segment.name
+        if self.on_export is not None:
+            self.on_export(name, prepared.fingerprint, segment.name)
 
     # ------------------------------------------------------------------
     # resolution
@@ -165,6 +245,11 @@ class GraphRegistry:
                 self.warm_hits += 1
                 return warm
             upload = self._uploads.get(ref)
+            shared_segment = self._shared_refs.get(ref)
+        if shared_segment is not None and self.shm_store is not None:
+            attached = self._attach_shared(ref, shared_segment)
+            if attached is not None:
+                return attached
         if upload is not None:
             prepared = PreparedGraph(upload)
         else:
@@ -179,6 +264,36 @@ class GraphRegistry:
                 ) from None
             prepared = PreparedGraph(entry.graph)
         prepared.fingerprint  # noqa: B018 - cache keys need the identity
+        self._finish_cold_build(ref, prepared)
+        with self._lock:
+            existing = self._warm.get(ref)
+            if existing is not None:
+                self._warm.move_to_end(ref)
+                return existing
+            self._admit(ref, prepared)
+        return prepared
+
+    def _attach_shared(
+        self, ref: str, segment_name: str
+    ) -> Optional[PreparedGraph]:
+        """Serve *ref* by attaching an announced sibling segment.
+
+        Returns None (after dropping the stale announcement) when the
+        segment no longer exists — the owner evicted and unlinked it —
+        so the caller falls through to an ordinary cold build.
+        """
+        from repro.engine.shm import shared_prepared
+
+        assert self.shm_store is not None
+        try:
+            segment = self.shm_store.attach(segment_name)
+        except (FileNotFoundError, ValueError):
+            with self._lock:
+                if self._shared_refs.get(ref) == segment_name:
+                    del self._shared_refs[ref]
+            return None
+        prepared: PreparedGraph = shared_prepared(segment)
+        self.shared_attaches += 1
         with self._lock:
             existing = self._warm.get(ref)
             if existing is not None:
@@ -213,9 +328,22 @@ class GraphRegistry:
             self._warm[name] = prepared
             self._warm.move_to_end(name)
             while len(self._warm) > self.capacity:
-                self._warm.popitem(last=False)
+                _, evicted = self._warm.popitem(last=False)
                 self.evictions += 1
+                self._release(evicted)
             self._shed_locked()
+
+    def _release(self, prepared: PreparedGraph) -> None:
+        """Return an evicted preparation's shared segment, if any.
+
+        Drops the store's cached mapping and the preparation's refcount
+        unit; the close that drains the in-segment count to zero unlinks
+        the name (in-flight solves on POSIX keep their views valid).
+        """
+        segment = prepared.shm_segment
+        if segment is not None and self.shm_store is not None:
+            self.shm_store.release(segment.name)
+        prepared.release()
 
     # ------------------------------------------------------------------
     # session memory accounting
@@ -227,11 +355,30 @@ class GraphRegistry:
             return sum(self._charges.values())
 
     def warm_cells(self) -> int:
-        """Cells held by warm preparations."""
+        """Cells held by warm preparations — charged once per host.
+
+        Shared-memory topology accounting: a segment attached from a
+        sibling worker costs this process (almost) nothing — the owner
+        already pays for the host's single copy — so attached entries
+        charge zero, and two warm names backed by the same fingerprint
+        (same segment) are counted once.  Without this, K workers
+        attaching one large graph would each charge it fully and the
+        LRU would shed warm entries K times too eagerly.
+        """
         with self._lock:
-            return sum(
-                _prepared_cells(p) for p in self._warm.values()
-            )
+            return self._warm_cells_locked()
+
+    def _warm_cells_locked(self) -> int:
+        seen: Set[str] = set()
+        total = 0
+        for prepared in self._warm.values():
+            fingerprint = prepared.cached_fingerprint
+            if fingerprint is not None:
+                if fingerprint in seen:
+                    continue
+                seen.add(fingerprint)
+            total += _prepared_cells(prepared)
+        return total
 
     def charge(self, owner: str, cells: int) -> None:
         """Record *owner*'s resident footprint (replacing any previous
@@ -266,13 +413,25 @@ class GraphRegistry:
             return
         charged = sum(self._charges.values())
         while len(self._warm) > 1:
-            warm = sum(_prepared_cells(p) for p in self._warm.values())
+            warm = self._warm_cells_locked()
             if charged + warm <= self.budget_cells:
                 break
-            self._warm.popitem(last=False)
+            _, evicted = self._warm.popitem(last=False)
             self.evictions += 1
+            self._release(evicted)
 
 
 def _prepared_cells(prepared: PreparedGraph) -> int:
-    """Footprint proxy of one preparation: vertices + edges of ``GD``."""
+    """Footprint proxy of one preparation: vertices + edges of ``GD``.
+
+    Segment *attachers* charge zero — the exporting owner carries the
+    host's single copy.  Sizes come from the CSR when one is resident so
+    shared preparations are never forced to materialise the dict graph
+    just to be measured.
+    """
+    if prepared.shared_attached:
+        return 0
+    csr = prepared.csr() if prepared.shm_segment is not None else None
+    if csr is not None:
+        return csr.n + csr.num_edges
     return prepared.gd.num_vertices + prepared.gd.num_edges

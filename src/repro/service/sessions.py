@@ -183,6 +183,7 @@ class SessionManager:
         registry: GraphRegistry,
         max_sessions: int = 32,
         ttl: Optional[float] = None,
+        sid_prefix: str = "s",
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -191,6 +192,9 @@ class SessionManager:
         self.registry = registry
         self.max_sessions = max_sessions
         self.ttl = ttl
+        #: leading token of generated session ids — cluster workers use
+        #: ``w<i>`` so the router can route session traffic by sid alone
+        self.sid_prefix = sid_prefix
         self._sessions: Dict[str, StreamSession] = {}
         self._ids = itertools.count(1)
         self._lock = threading.RLock()
@@ -252,7 +256,7 @@ class SessionManager:
                     f"session limit reached ({self.max_sessions} "
                     "resident); close or let one expire first"
                 )
-            sid = f"s-{next(self._ids)}"
+            sid = f"{self.sid_prefix}-{next(self._ids)}"
             session = StreamSession(sid, engine, config)
             self._sessions[sid] = session
             self.created += 1
