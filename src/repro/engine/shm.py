@@ -11,7 +11,9 @@ redundant prepare passes.  This module provides that substrate:
   arrays out in one ``multiprocessing.shared_memory`` segment, named by
   the graph's content fingerprint — export is idempotent per host (a
   concurrent exporter of the same fingerprint attaches the winner's
-  segment instead of failing).
+  segment instead of failing, waiting for its ready flag — the magic,
+  written after every payload byte — so a mid-copy segment is never
+  served).
 * :meth:`SharedGraphStore.attach` maps an existing segment and wraps the
   arrays back into read-only :class:`CSRAdjacency` views — no copy, no
   rebuild; :func:`shared_prepared` goes one step further and yields a
@@ -49,6 +51,7 @@ import pickle
 import secrets
 import struct
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 try:  # pragma: no cover - exercised implicitly on import
@@ -113,6 +116,15 @@ _REFCOUNT_OFF = 8
 _HEADER_LEN_OFF = 16
 _HEADER_OFF = 24
 _ALIGN = 64
+
+#: The magic doubles as the segment's *ready flag*: export writes it
+#: only after every payload byte (refcount, header, vertices, CSR
+#: arrays) has landed, so an attacher that maps the segment mid-copy
+#: polls for it instead of silently reading a partially-populated
+#: graph.  A segment that never becomes ready within the timeout (a
+#: crashed exporter's leftovers) raises ``ValueError`` from ``attach``.
+_READY_TIMEOUT = 5.0
+_READY_POLL = 0.002
 
 
 def shm_available() -> bool:
@@ -393,9 +405,15 @@ class SharedGraphStore:
             _untrack(name)
         except FileExistsError:
             # A sibling worker won the race (or a previous generation
-            # left the segment); serve from theirs.
+            # left the segment); serve from theirs.  ``attach`` waits
+            # for the winner's ready flag, so a mid-copy segment is
+            # never served — and raises ValueError if it never becomes
+            # ready (crashed exporter), which callers treat as
+            # "sharing unavailable for this graph".
             return self.attach(name)
-        struct.pack_into("<8s", shm.buf, _MAGIC_OFF, _MAGIC)
+        # Payload first, magic (the ready flag) last: a racing attacher
+        # of the same fingerprint polls for the magic, so it can never
+        # map a partially-populated graph.
         struct.pack_into("<Q", shm.buf, _REFCOUNT_OFF, 1)
         struct.pack_into("<Q", shm.buf, _HEADER_LEN_OFF, len(blob))
         shm.buf[_HEADER_OFF:_HEADER_OFF + len(blob)] = blob
@@ -410,6 +428,7 @@ class SharedGraphStore:
                 offset=int(spec["offset"]),
             )
             dest[:] = array
+        struct.pack_into("<8s", shm.buf, _MAGIC_OFF, _MAGIC)
         segment = SharedGraphSegment(name, shm, header, created=True)
         with self._lock:
             raced = self._segments.setdefault(name, segment)
@@ -424,7 +443,9 @@ class SharedGraphStore:
         """Map an existing segment by name (cached per store).
 
         Raises FileNotFoundError when the segment does not exist (the
-        owner evicted and unlinked it); callers fall back to a rebuild.
+        owner evicted and unlinked it) and ValueError when it never
+        becomes ready (not a graph segment, or a crashed exporter left
+        it half-written); callers fall back to a rebuild either way.
         """
         with self._lock:
             cached = self._segments.get(name)
@@ -432,10 +453,16 @@ class SharedGraphStore:
                 return cached
         shm = _QuietSharedMemory(name=name)
         _untrack(name)
-        magic = bytes(shm.buf[_MAGIC_OFF:_MAGIC_OFF + 8])
-        if magic != _MAGIC:
-            shm.close()
-            raise ValueError(f"segment {name!r} is not a repro graph segment")
+        # The exporter writes the magic last: poll for it so a racing
+        # attach never reads a segment whose arrays are still landing.
+        deadline = time.monotonic() + _READY_TIMEOUT
+        while bytes(shm.buf[_MAGIC_OFF:_MAGIC_OFF + 8]) != _MAGIC:
+            if time.monotonic() >= deadline:
+                shm.close()
+                raise ValueError(
+                    f"segment {name!r} is not a ready repro graph segment"
+                )
+            time.sleep(_READY_POLL)
         (header_len,) = struct.unpack_from("<Q", shm.buf, _HEADER_LEN_OFF)
         blob = bytes(shm.buf[_HEADER_OFF:_HEADER_OFF + int(header_len)])
         header = json.loads(blob.decode("utf-8"))

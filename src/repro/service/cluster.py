@@ -29,6 +29,13 @@ Routing rules
   owner, so each graph is uploaded, prepared and solved on one worker
   (the prepare-exactly-once contract) and every other worker can still
   serve it by attaching the owner's shared-memory segment;
+* a ``/v1/batch`` naming several graphs goes whole to the first ref's
+  owner when every other ref is *announced* (the non-owner serves them
+  by shared-memory attach — no rebuild); records whose refs the
+  primary could not resolve (shm unavailable, or a dataset ref nobody
+  has built) are split out to their owning workers and the
+  sub-responses merged back into the single-process envelope shape,
+  so a registered graph never 404s and no graph is prepared twice;
 * stream sessions are created on the graph owner when the session
   names a graph, round-robin otherwise; the worker id is burned into
   the session id (``w2-1``), so per-session traffic routes by sid
@@ -445,6 +452,8 @@ class ClusterRouter:
             return await self._datasets(request)
         if method == "GET" and path == "/v1/stream/sessions":
             return await self._session_list(request)
+        if method == "POST" and path == "/v1/batch":
+            return await self._batch(request)
         return await self._forward(self._pick_worker(request), request)
 
     def _pick_worker(self, request: HttpRequest) -> _WorkerHandle:
@@ -545,6 +554,202 @@ class ClusterRouter:
             ):
                 return  # transient: the worker is (still) live
             await asyncio.sleep(0.05)
+
+    # -- batch scatter -------------------------------------------------
+    async def _batch(self, request: HttpRequest) -> HttpResponse:
+        """Route ``/v1/batch`` without stranding records off-owner.
+
+        The common case forwards the batch verbatim to the first ref's
+        owner: refs the owner does not shard are *announced*, so it
+        serves them by shared-memory attach — no rebuild, and the
+        response is the owner's bytes.  Records whose refs the primary
+        worker could not resolve (shared memory unavailable, or a
+        never-built dataset ref owned elsewhere) are split out to their
+        owning workers — preserving prepare-once — and the
+        sub-responses merged back into the exact single-process
+        envelope shape (positional qids assigned the way
+        ``assign_qids`` would, results in submission order, stats
+        summed).  Batches the router cannot confidently split
+        (malformed records, missing refs, duplicate qids) forward
+        whole, so the worker renders the same error envelope a single
+        process would.
+        """
+        plan = self._split_batch(request)
+        if plan is None:
+            return await self._forward(
+                self._pick_worker(request), request
+            )
+        records, wrapper, targets, qids = plan
+        groups: Dict[int, List[int]] = {}
+        for index, target in enumerate(targets):
+            groups.setdefault(target, []).append(index)
+
+        def sub_request(indices: List[int]) -> HttpRequest:
+            subrecords = [
+                dict(records[i], qid=qids[i]) for i in indices
+            ]
+            payload: Any = (
+                dict(wrapper, queries=subrecords)
+                if wrapper is not None
+                else subrecords
+            )
+            return HttpRequest(
+                method="POST",
+                path="/v1/batch",
+                headers=dict(request.headers),
+                body=json.dumps(payload).encode("utf-8"),
+            )
+
+        order = sorted(groups)
+        responses = await asyncio.gather(
+            *(
+                self._forward(
+                    self._workers[target], sub_request(groups[target])
+                )
+                for target in order
+            )
+        )
+        # A failed sub-batch fails the whole request, as one process
+        # would fail it; prefer the failure of the sub-batch holding
+        # the earliest record so messages track submission order.
+        failed = [
+            (min(groups[target]), response)
+            for target, response in zip(order, responses)
+            if response.status != 200
+        ]
+        if failed:
+            return min(failed, key=lambda item: item[0])[1]
+        merged: List[Optional[Dict[str, Any]]] = [None] * len(records)
+        position = {qid: index for index, qid in enumerate(qids)}
+        stats_parts: List[Dict[str, Any]] = []
+        for target, response in zip(order, responses):
+            try:
+                payload = json.loads(response.payload)
+            except (TypeError, ValueError):
+                payload = None
+            if not isinstance(payload, dict):  # pragma: no cover
+                return HttpResponse(
+                    502,
+                    {
+                        "error": f"worker {target} returned an "
+                        "unmergeable batch response"
+                    },
+                )
+            for result in payload.get("results", []):
+                index = position.get(str(result.get("qid")))
+                if index is not None and merged[index] is None:
+                    merged[index] = result
+            if isinstance(payload.get("stats"), dict):
+                stats_parts.append(payload["stats"])
+        if any(result is None for result in merged):  # pragma: no cover
+            return HttpResponse(
+                502, {"error": "batch scatter lost results"}
+            )
+        stats: Dict[str, Any] = {
+            "queries": len(records),
+            "mode": stats_parts[0].get("mode") if stats_parts else None,
+        }
+        for key in (
+            "preps_built",
+            "preps_shared",
+            "cache_hits",
+            "solved",
+            "errors",
+            "timeouts",
+        ):
+            stats[key] = sum(
+                int(part.get(key, 0)) for part in stats_parts
+            )
+        return HttpResponse(
+            200,
+            {
+                "status": "ok"
+                if all(r.get("status") == "ok" for r in merged)
+                else "partial",
+                "results": merged,
+                "stats": stats,
+            },
+        )
+
+    def _split_batch(
+        self, request: HttpRequest
+    ) -> Optional[
+        Tuple[
+            List[Dict[str, Any]],
+            Optional[Dict[str, Any]],
+            List[int],
+            List[str],
+        ]
+    ]:
+        """The scatter plan for a batch, or ``None`` to forward whole.
+
+        Returns ``(records, wrapper, targets, qids)``: the parsed
+        records, the enclosing dict body (``None`` for a bare array),
+        each record's serving worker, and the qid each record will
+        carry — explicit ones kept, blanks filled positionally exactly
+        as ``assign_qids`` fills them in one process.  ``None`` means
+        every record lands on the primary worker anyway, or the batch
+        is one the router should not second-guess (malformed records,
+        refs missing, duplicate qids — the worker owns those errors).
+        """
+        if not request.body:
+            return None
+        try:
+            body = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        wrapper: Optional[Dict[str, Any]] = None
+        records = body
+        if isinstance(body, dict):
+            wrapper = body
+            records = body.get("queries")
+        if not isinstance(records, list) or not records:
+            return None
+        n = len(self._workers)
+        primary: Optional[int] = None
+        targets: List[int] = []
+        taken: Dict[str, int] = {}
+        explicit: List[str] = []
+        for index, record in enumerate(records):
+            if not isinstance(record, dict):
+                return None
+            ref = None
+            for field in ("graph", "dataset"):
+                value = record.get(field)
+                if isinstance(value, str):
+                    ref = value
+                    break
+            if ref is None:
+                return None
+            owner = _shard(ref, n)
+            if primary is None:
+                primary = owner
+            # An announced ref is servable anywhere by segment attach,
+            # so it stays with the primary — the whole-batch fast path
+            # and the cross-owner zero-copy read the topology is for.
+            if owner == primary or ref in self._announced:
+                targets.append(primary)
+            else:
+                targets.append(owner)
+            qid = str(record["qid"]) if "qid" in record else ""
+            if qid:
+                if qid in taken:
+                    return None
+                taken[qid] = index
+            explicit.append(qid)
+        assert primary is not None
+        if all(target == primary for target in targets):
+            return None
+        qids: List[str] = []
+        auto = 0
+        for qid in explicit:
+            if not qid:
+                while f"q{auto}" in taken:
+                    auto += 1
+                qid = f"q{auto}"
+                taken[qid] = -1
+            qids.append(qid)
+        return records, wrapper, targets, qids
 
     # -- fan-out views -------------------------------------------------
     def _healthz(self) -> HttpResponse:

@@ -147,7 +147,6 @@ class GraphRegistry:
         )
         prepared = PreparedGraph(gd)
         prepared.fingerprint  # noqa: B018 - eagerly pay the content hash
-        self._finish_cold_build(name, prepared)
         with self._lock:
             if (
                 name not in self._uploads
@@ -157,7 +156,12 @@ class GraphRegistry:
                     f"upload limit reached ({self.max_uploads} named "
                     "graphs); forget() one before registering more"
                 )
+            # Admit under the lock *before* the export: a rejected
+            # upload must never be announced cluster-wide or leak a
+            # shared-memory segment — the limit bounds both.
             self._uploads[name] = gd
+        self._finish_cold_build(name, prepared)
+        with self._lock:
             evicted = self._warm.pop(name, None)
             self._admit(name, prepared)
         if evicted is not None and evicted is not prepared:
@@ -196,8 +200,11 @@ class GraphRegistry:
             ):
                 # Stale preparation under this name (e.g. re-upload):
                 # drop it so the next resolve attaches the new content.
+                # Full release — store cache included — or a later
+                # announcement of the same segment would hand back an
+                # already-closed cached mapping.
                 self._warm.pop(name, None)
-                warm.release()
+                self._release(warm)
             self._shared_refs[name] = segment_name
 
     def _finish_cold_build(self, name: str, prepared: PreparedGraph) -> None:
@@ -215,8 +222,10 @@ class GraphRegistry:
 
         try:
             segment = self.shm_store.export(prepared)
-        except (BackendUnavailableError, OSError):  # pragma: no cover
+        except (BackendUnavailableError, OSError, ValueError):
             # Shared memory is an optimisation; never fail the build.
+            # ValueError covers a squatted-but-never-ready segment (a
+            # crashed exporter's leftovers) under this fingerprint.
             return
         prepared.adopt_segment(segment)
         with self._lock:

@@ -26,9 +26,12 @@ import pytest
 from repro.engine.shm import shm_available
 from repro.graph.generators import random_signed_graph
 from repro.graph.io import write_edge_list
-from repro.service.cluster import _shard
+from repro.service.cluster import ClusterRouter, _shard
+from repro.service.http import HttpRequest
 
-N_GRAPHS = 3
+# Four uploads so both shard buckets own graphs (cg0..cg2 hash to
+# worker 1 of 2, cg3 to worker 0) — cross-owner batches need that.
+N_GRAPHS = 4
 
 
 def _env():
@@ -228,6 +231,179 @@ class TestByteIdentity:
             ] == [_strip(r, drop) for r in theirs_b["results"]]
         finally:
             _stop(single_proc)
+
+
+class TestBatchRouting:
+    def test_cross_owner_batch_serves_all_records(self, cluster):
+        """A batch naming graphs owned by *different* workers answers
+        every record — announced refs are served by the primary via
+        shared-memory attach, unresolvable ones split to their owners;
+        either way a registered graph must never 404 in a batch."""
+        _, base = cluster
+        assert _shard("cg0", 2) != _shard("cg3", 2)
+        body = _post(
+            base,
+            "/v1/batch",
+            {
+                "queries": [
+                    {"kind": "dcsga", "graph": "cg0"},
+                    {"kind": "dcsad", "graph": "cg3", "k": 2},
+                    {"kind": "dcsga", "graph": "cg3", "qid": "pin"},
+                ]
+            },
+        )
+        assert body["status"] == "ok"
+        assert [r["qid"] for r in body["results"]] == ["q0", "q1", "pin"]
+        assert all(r["status"] == "ok" for r in body["results"])
+        assert body["stats"]["queries"] == 3
+        # Earlier tests may have warmed the result cache for some of
+        # these queries; either way every record was answered.
+        stats = body["stats"]
+        assert stats["solved"] + stats["cache_hits"] == 3
+
+    def test_split_batch_merges_to_single_process_envelope(
+        self, cluster
+    ):
+        """Dataset refs nobody has built are un-announced, so a batch
+        straddling their owners takes the router's scatter path; the
+        merged envelope must match the single process byte-for-byte
+        (owners cold-build the same graphs both sides)."""
+        _, base = cluster
+        refs = ("DBLP/Weighted/Emerging", "DBLP/Discrete/Emerging")
+        assert {_shard(ref, 2) for ref in refs} == {0, 1}
+        batch = {
+            "queries": [
+                {"kind": "dcsga", "dataset": refs[0]},
+                {"kind": "dcsad", "dataset": refs[1]},
+                {"kind": "dcsga", "dataset": refs[1], "qid": "pin"},
+            ]
+        }
+        single_proc, single = _start(1)
+        try:
+            mine = _post(base, "/v1/batch", batch)
+            theirs = _post(single, "/v1/batch", batch)
+        finally:
+            _stop(single_proc)
+        assert mine["status"] == theirs["status"] == "ok"
+        assert [r["qid"] for r in mine["results"]] == ["q0", "q1", "pin"]
+        drop = ("seconds", "profile")
+        assert [_strip(r, drop) for r in mine["results"]] == [
+            _strip(r, drop) for r in theirs["results"]
+        ]
+        assert mine["stats"] == theirs["stats"]
+
+
+class TestBatchSplitPlan:
+    """Router-side scatter planning (no worker processes needed)."""
+
+    def _plan(self, payload, announced=()):
+        router = ClusterRouter(workers=2)
+        for ref in announced:
+            router._announced[ref] = {
+                "ref": ref,
+                "fingerprint": "f" * 64,
+                "segment": "seg",
+            }
+        request = HttpRequest(
+            method="POST",
+            path="/v1/batch",
+            body=json.dumps(payload).encode("utf-8"),
+        )
+        return router._split_batch(request)
+
+    def test_unannounced_cross_owner_records_split_to_owners(self):
+        plan = self._plan(
+            {
+                "queries": [
+                    {"kind": "dcsga", "graph": "cg0"},
+                    {"kind": "dcsad", "graph": "cg3"},
+                    {"kind": "dcsga", "graph": "cg3", "qid": "pin"},
+                ]
+            }
+        )
+        assert plan is not None
+        records, wrapper, targets, qids = plan
+        assert targets == [
+            _shard("cg0", 2),
+            _shard("cg3", 2),
+            _shard("cg3", 2),
+        ]
+        assert qids == ["q0", "q1", "pin"]
+        assert wrapper is not None
+        assert len(records) == 3
+
+    def test_announced_refs_stay_with_the_primary(self):
+        # The primary serves announced foreign refs by segment attach,
+        # so the batch forwards whole — the zero-copy fast path.
+        plan = self._plan(
+            {
+                "queries": [
+                    {"kind": "dcsga", "graph": "cg0"},
+                    {"kind": "dcsad", "graph": "cg3"},
+                ]
+            },
+            announced=("cg3",),
+        )
+        assert plan is None
+
+    def test_unsplittable_batches_forward_whole(self):
+        # Single owner: nothing to split.
+        assert (
+            self._plan(
+                {
+                    "queries": [
+                        {"kind": "dcsga", "graph": "cg0"},
+                        {"kind": "dcsad", "graph": "cg0", "k": 2},
+                    ]
+                }
+            )
+            is None
+        )
+        # Missing refs, malformed records, duplicate qids: one worker
+        # must render the same error envelope a single process would.
+        assert (
+            self._plan(
+                {
+                    "queries": [
+                        {"kind": "dcsga", "graph": "cg0"},
+                        {"kind": "dcsad"},
+                        {"kind": "dcsga", "graph": "cg3"},
+                    ]
+                }
+            )
+            is None
+        )
+        assert (
+            self._plan(
+                {"queries": [{"kind": "dcsga", "graph": "cg0"}, "nope"]}
+            )
+            is None
+        )
+        assert (
+            self._plan(
+                {
+                    "queries": [
+                        {"kind": "dcsga", "graph": "cg0", "qid": "a"},
+                        {"kind": "dcsad", "graph": "cg3", "qid": "a"},
+                    ]
+                }
+            )
+            is None
+        )
+
+    def test_positional_qids_skip_explicit_names(self):
+        plan = self._plan(
+            [
+                {"kind": "dcsga", "graph": "cg0", "qid": "q1"},
+                {"kind": "dcsad", "graph": "cg3"},
+                {"kind": "dcsga", "graph": "cg3"},
+            ]
+        )
+        assert plan is not None
+        records, wrapper, targets, qids = plan
+        assert wrapper is None
+        # Exactly how assign_qids fills blanks in a single process.
+        assert qids == ["q1", "q0", "q2"]
 
 
 class TestSessions:

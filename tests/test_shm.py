@@ -23,6 +23,7 @@ from repro.engine.shm import (
     shm_available,
     unlink_segment,
 )
+from repro.exceptions import InputMismatchError
 from repro.graph.generators import random_signed_graph
 from repro.graph.io import write_edge_list
 from repro.service.registry import GraphRegistry
@@ -132,6 +133,23 @@ class TestSegmentLifecycle:
     def test_attach_missing_segment_raises(self, store):
         with pytest.raises(FileNotFoundError):
             store.attach(f"{store.prefix}_nosuchsegment")
+
+    def test_attach_waits_for_the_ready_flag(self, store, monkeypatch):
+        import repro.engine.shm as shm_mod
+
+        monkeypatch.setattr(shm_mod, "_READY_TIMEOUT", 0.2)
+        name = f"{store.prefix}_halfwritten"
+        raw = shm_mod._QuietSharedMemory(name=name, create=True, size=1024)
+        shm_mod._untrack(name)
+        try:
+            # The magic is written last by export; a segment that never
+            # becomes ready (exporter crashed mid-copy) is refused
+            # after the poll window rather than served half-populated.
+            with pytest.raises(ValueError):
+                store.attach(name)
+        finally:
+            raw.unlink()
+            raw.close()
 
     def test_unlink_segment_is_the_crash_backstop(self, store):
         prepared = _prepared(seed=17)
@@ -270,6 +288,90 @@ class TestRegistryIntegration:
         assert resolved is not None
         assert registry.cold_builds == 2
         registry.forget("gone")
+
+    def test_rejected_upload_is_not_exported(self, store, tmp_path):
+        announced = []
+        registry = GraphRegistry(
+            capacity=4,
+            scale=0.0,
+            max_uploads=1,
+            shm_store=store,
+            on_export=lambda *a: announced.append(a),
+        )
+        g1, g2 = self._pair_texts(tmp_path, seed=53)
+        registry.register_pair("kept", g1, g2)
+        before = list_segments(store.prefix)
+        h1, h2 = self._pair_texts(tmp_path, seed=59)
+        with pytest.raises(InputMismatchError):
+            registry.register_pair("extra", h1, h2)
+        # The rejected upload announced nothing and leaked no segment:
+        # the limit bounds memory and the cluster name namespace, not
+        # just this process's upload table.
+        assert [a[0] for a in announced] == ["kept"]
+        assert list_segments(store.prefix) == before
+        with pytest.raises(KeyError):
+            registry.resolve("extra")
+        registry.forget("kept")
+
+    def test_unready_squatted_segment_never_fails_the_build(
+        self, store, tmp_path, monkeypatch
+    ):
+        import repro.engine.shm as shm_mod
+
+        monkeypatch.setattr(shm_mod, "_READY_TIMEOUT", 0.2)
+        g1, g2 = self._pair_texts(tmp_path, seed=61)
+        plain = GraphRegistry(capacity=4, scale=0.0)
+        fingerprint = plain.register_pair("probe", g1, g2).fingerprint
+        name = store.segment_name(fingerprint)
+        squat = shm_mod._QuietSharedMemory(
+            name=name, create=True, size=1024
+        )
+        shm_mod._untrack(name)
+        registry = GraphRegistry(capacity=4, scale=0.0, shm_store=store)
+        try:
+            # Export collides with a never-ready segment under its own
+            # fingerprint (a crashed exporter's leftovers): sharing is
+            # skipped for this graph, the build still serves.
+            prepared = registry.register_pair("up", g1, g2)
+            assert prepared.shm_segment is None
+            assert registry.resolve("up") is prepared
+        finally:
+            squat.unlink()
+            squat.close()
+        registry.forget("up")
+
+    def test_reannounce_drops_stale_store_cache(self, store, tmp_path):
+        owner = GraphRegistry(capacity=4, scale=0.0, shm_store=store)
+        g1, g2 = self._pair_texts(tmp_path, seed=67)
+        h1, h2 = self._pair_texts(tmp_path, seed=71)
+        first = owner.register_pair("re", g1, g2)
+        seg1 = store.segment_name(first.fingerprint)
+
+        sibling_store = SharedGraphStore(prefix=store.prefix)
+        sibling = GraphRegistry(
+            capacity=4, scale=0.0, shm_store=sibling_store
+        )
+        sibling.register_shared("re", first.fingerprint, seg1)
+        assert sibling.resolve("re").fingerprint == first.fingerprint
+        assert sibling_store.held() == [seg1]
+
+        second = owner.register_pair("re", h1, h2)  # content replaced
+        assert second.fingerprint != first.fingerprint
+        sibling.register_shared(
+            "re",
+            second.fingerprint,
+            store.segment_name(second.fingerprint),
+        )
+        # Dropping the stale warm entry must evict the sibling store's
+        # cached mapping too: a later announcement of that segment name
+        # re-attaches a live mapping instead of handing back the
+        # already-closed cached one.
+        assert seg1 not in sibling_store.held()
+        resolved = sibling.resolve("re")
+        assert resolved.fingerprint == second.fingerprint
+        _assert_same_answers(_answers(resolved), _answers(second))
+        sibling_store.close_all()
+        owner.forget("re")
 
     def test_eviction_releases_segment(self, store, tmp_path):
         registry = GraphRegistry(capacity=1, scale=0.0, shm_store=store)
