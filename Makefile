@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test coverage lint bench-smoke bench-stream bench-batch bench-service bench-sessions bench-scale serve-smoke session-smoke obs-smoke scale-smoke bench docs-check check
+.PHONY: test coverage lint lint-invariants bench-smoke bench-stream bench-batch bench-service bench-sessions bench-scale serve-smoke session-smoke obs-smoke scale-smoke bench docs-check check
 
 ## Full test suite (tier-1 gate; fast).
 test:
@@ -23,21 +23,32 @@ coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
 		--cov-fail-under=$(COV_MIN)
 
-## Lint + type gates: ruff (runtime-correctness rule tier, see
-## ruff.toml) over the library, and a `mypy --strict` pass over the
-## engine layer (the dispatch seam every other layer builds on) and
-## the service layer (the network-facing surface, including the
-## multi-tenant session module service/sessions.py), plus the
-## observability layer (repro/obs/ — tracing, logs, Prometheus).
-## Requires ruff + mypy (`pip install ruff mypy`); plain `make test`
-## stays dependency-light.
-lint:
+## Repo-specific invariant checker (src/repro/lintkit): AST rules for
+## the concurrency/determinism contracts past PRs fixed by hand —
+## blocking calls on the event loop, expensive builds under a lock,
+## unrestored signal swaps, leaked shm mappings, nondeterministic
+## canonical payloads, backend string ladders.  Stdlib-only; always
+## runnable from a plain clone.
+lint-invariants:
+	$(PYTHON) -m repro.lintkit src/repro
+
+## Lint + type gates: the invariant checker above, ruff
+## (runtime-correctness rule tier, see ruff.toml) over the library,
+## and a `mypy --strict` pass over the engine layer (the dispatch seam
+## every other layer builds on), the service layer (the network-facing
+## surface, including the multi-tenant session module
+## service/sessions.py), the observability layer (repro/obs/), the
+## batch layer (resume/dedup correctness rides on its annotations)
+## and the lintkit itself (the checker must clear the strictest bar
+## it enforces on others).  Requires ruff + mypy
+## (`pip install ruff mypy`); plain `make test` stays dependency-light.
+lint: lint-invariants
 	@$(PYTHON) -c "import ruff" 2>/dev/null || \
 		{ echo "ruff is not installed: pip install ruff"; exit 1; }
 	$(PYTHON) -m ruff check src examples
 	@$(PYTHON) -c "import mypy" 2>/dev/null || \
 		{ echo "mypy is not installed: pip install mypy"; exit 1; }
-	$(PYTHON) -m mypy --strict src/repro/engine src/repro/service src/repro/obs
+	$(PYTHON) -m mypy --strict src/repro/engine src/repro/service src/repro/obs src/repro/batch src/repro/lintkit
 
 ## Scalability + streaming + batch + service + session gates:
 ## sparse-vs-python backend speedup (>= 5x at the largest planted

@@ -138,7 +138,8 @@ class ResultCache:
                 self.misses += 1
                 return None
             self.hits += 1
-        return json.loads(text)
+        payload: Dict[str, Any] = json.loads(text)
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store *payload* under *key* (memory, then disk if configured).

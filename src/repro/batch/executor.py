@@ -54,7 +54,18 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from dataclasses import field as dataclass_field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from types import FrameType
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.batch.cache import ResultCache, cache_key, canonical_text
 from repro.batch.plan import BatchPlan
@@ -190,7 +201,7 @@ class _QuerySpec:
     params: Dict[str, Any]
 
 
-def _subset_json(subset) -> List[str]:
+def _subset_json(subset: Iterable[object]) -> List[str]:
     return sorted(str(v) for v in subset)
 
 
@@ -358,7 +369,7 @@ def run_guarded(
         and hasattr(signal, "SIGALRM")
     )
     if use_alarm:
-        def _on_alarm(signum, frame):
+        def _on_alarm(signum: int, frame: Optional[FrameType]) -> None:
             raise _QueryTimeout()
 
         try:
@@ -680,7 +691,9 @@ class BatchExecutor:
         position: int,
         spec: _QuerySpec,
         results: List[Optional[BatchResult]],
-        waiter,
+        waiter: Callable[
+            [], Tuple[str, Any, float, Optional[Dict[str, float]]]
+        ],
     ) -> None:
         wait_start = time.perf_counter()
         profile: Optional[Dict[str, float]] = None

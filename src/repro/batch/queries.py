@@ -36,6 +36,7 @@ from typing import (
     Callable,
     Dict,
     IO,
+    Iterable,
     List,
     Optional,
     Tuple,
@@ -352,11 +353,11 @@ def read_queries(source: Union[str, IO[str]]) -> List[BatchQuery]:
     Queries without an explicit ``qid`` are labelled ``q0, q1, ...`` by
     position; explicit qids must be unique.
     """
-    if hasattr(source, "read"):
-        text = source.read()
-    else:
+    if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as stream:
             text = stream.read()
+    else:
+        text = source.read()
     stripped = text.lstrip()
     records: List[Dict[str, Any]]
     if not stripped:
@@ -375,15 +376,15 @@ def read_queries(source: Union[str, IO[str]]) -> List[BatchQuery]:
     return assign_qids(query_from_dict(record) for record in records)
 
 
-def assign_qids(queries) -> List[BatchQuery]:
+def assign_qids(queries: Iterable[BatchQuery]) -> List[BatchQuery]:
     """Give every query a unique qid (shared by file and library paths).
 
     Explicit qids must be unique; blank ones are filled positionally as
     ``q0, q1, ...``, skipping any name an explicit qid already took.
     """
-    queries = list(queries)
+    items = list(queries)
     taken: Dict[str, int] = {}
-    for i, query in enumerate(queries):
+    for i, query in enumerate(items):
         if not query.qid:
             continue
         if query.qid in taken:
@@ -393,11 +394,11 @@ def assign_qids(queries) -> List[BatchQuery]:
             )
         taken[query.qid] = i
     auto = 0
-    for i, query in enumerate(queries):
+    for i, query in enumerate(items):
         if query.qid:
             continue
         while f"q{auto}" in taken:
             auto += 1
-        queries[i] = query.with_qid(f"q{auto}")
+        items[i] = query.with_qid(f"q{auto}")
         taken[f"q{auto}"] = i
-    return queries
+    return items

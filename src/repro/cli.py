@@ -347,6 +347,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarised on stderr (default 1)",
     )
     add_backend(stream)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based concurrency & determinism invariant checker",
+    )
+    from repro.lintkit.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -635,6 +643,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lintkit.cli import run_from_args
+
+    return run_from_args(args)
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "dcsad": _cmd_dcsad,
@@ -642,6 +656,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "stream": _cmd_stream,
+    "lint": _cmd_lint,
 }
 
 

@@ -1,0 +1,52 @@
+"""repro lint: AST-based concurrency & determinism invariant checker.
+
+The codebase's hard-won rules — no blocking calls on the event loop, no
+expensive builds under a lock, signal swaps restore in a finally,
+shared-memory mappings always reach ``close()``, canonical payloads are
+deterministic, backend dispatch stays behind the registry seam — as
+machine-enforced CI gates instead of reviewer memory.
+
+Entry points: ``repro lint`` (CLI), ``python -m repro.lintkit``, or
+:func:`lint_paths` / :func:`lint_source` from code.  See
+:mod:`repro.lintkit.runner` for the framework and the ``rules_*``
+modules for the invariants.
+"""
+
+from repro.lintkit.findings import (
+    SCHEMA_VERSION,
+    Finding,
+    render_json,
+    render_text,
+)
+from repro.lintkit.runner import (
+    PARSE_RULE_ID,
+    FileContext,
+    LintConfig,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register_rule,
+    walk_python_files,
+)
+from repro.lintkit.suppressions import SUPPRESS_RULE_ID, SuppressionIndex
+
+__all__ = [
+    "PARSE_RULE_ID",
+    "SCHEMA_VERSION",
+    "SUPPRESS_RULE_ID",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "SuppressionIndex",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "walk_python_files",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.lintkit`` — same engine as ``repro lint``."""
+
+import sys
+
+from repro.lintkit.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.lintkit``.
+
+Exit codes follow the usual linter contract::
+
+    0  clean (or --list-rules)
+    1  findings reported
+    2  usage / environment error (unknown rule id, missing path)
+
+``--format json`` emits the versioned report documented in
+:mod:`repro.lintkit.findings`; ``--output`` tees it to a file (CI
+uploads that file as the ``lint-findings`` artefact) while the summary
+still goes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lintkit.findings import render_json, render_text
+from repro.lintkit.runner import LintConfig, all_rules, lint_paths
+
+__all__ = ["add_arguments", "build_parser", "main", "run_from_args"]
+
+#: Default lint target when no paths are given.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to *parser* (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE (independent of --format)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, summary, motivation) and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based concurrency & determinism invariant checker for "
+            "the repro codebase"
+        ),
+    )
+    add_arguments(parser)
+    return parser
+
+
+def _split_rules(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _render_rule_table() -> str:
+    lines: List[str] = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}")
+        lines.append(f"  {rule.summary}")
+        lines.append(f"  why: {rule.motivation}")
+    return "\n".join(lines)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed *args*; returns the exit code."""
+    if args.list_rules:
+        print(_render_rule_table())
+        return 0
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore) or []
+    config = LintConfig(
+        select=frozenset(select) if select is not None else None,
+        ignore=frozenset(ignore),
+    )
+    try:
+        report = lint_paths(args.paths, config)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.output is not None:
+        Path(args.output).write_text(
+            render_json(report.findings, report.files) + "\n",
+            encoding="utf-8",
+        )
+    if args.format == "json":
+        print(render_json(report.findings, report.files))
+    else:
+        print(render_text(report.findings, report.files))
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.lintkit`` entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run_from_args(args)

@@ -1,0 +1,114 @@
+"""The finding vocabulary: what a rule reports and how it is rendered.
+
+A :class:`Finding` is one violation at one source location — rule id,
+path, line, column, message — ordered by location so reports are stable
+across runs and platforms.  Two renderers consume them:
+
+* :func:`render_text` — one ``path:line:col: RULE-ID message`` line per
+  finding plus a summary, the shape editors and CI logs expect;
+* :func:`render_json` — a versioned machine-readable report (the CI
+  ``lint-invariants`` job uploads it as an artefact), schema below.
+
+JSON report layout (``SCHEMA_VERSION`` guards consumers)::
+
+    {"version": 1,
+     "files": 131,                        # files scanned
+     "clean": false,
+     "counts": {"REPRO-ASYNC-BLOCK": 2},  # findings per rule id
+     "findings": [{"rule": "REPRO-ASYNC-BLOCK",
+                   "path": "src/repro/service/app.py",
+                   "line": 10, "col": 4,
+                   "message": "..."}]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Finding",
+    "render_json",
+    "render_text",
+    "sort_findings",
+]
+
+#: Version of the JSON report layout; bump on any shape change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text form."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-report record of this finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form."""
+        return f"{self.location}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic report order: by path, then line/col, then rule."""
+
+    def key(finding: Finding) -> Tuple[str, int, int, str]:
+        return (finding.path, finding.line, finding.col, finding.rule)
+
+    return sorted(findings, key=key)
+
+
+def _counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding], files: int) -> str:
+    """The human report: one line per finding plus a summary line."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    if ordered:
+        per_rule = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(_counts(ordered).items())
+        )
+        lines.append(
+            f"{len(ordered)} finding(s) in {files} file(s): {per_rule}"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files: int) -> str:
+    """The machine report (sorted keys, trailing-newline-free)."""
+    ordered = sort_findings(findings)
+    report = {
+        "version": SCHEMA_VERSION,
+        "files": files,
+        "clean": not ordered,
+        "counts": _counts(ordered),
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    return json.dumps(report, sort_keys=True, indent=2)

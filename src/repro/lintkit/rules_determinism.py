@@ -1,0 +1,230 @@
+"""Determinism invariants: canonical payloads and the backend seam.
+
+* :class:`CanonicalDeterminismRule` (``REPRO-CANONICAL-DETERMINISM``) —
+  the batch layer's resume/dedup machinery keys on byte-identical
+  ``canonical_json`` output; a wall-clock read or bare-set iteration in
+  a payload builder silently breaks replay equality across runs.
+* :class:`BackendLadderRule` (``REPRO-BACKEND-LADDER``) — the engine's
+  registry seam (``resolve_backend``/``get_backend``) is the single
+  place allowed to reason about backend names; an ``if backend ==``
+  ladder anywhere else re-creates the dispatch sprawl the registry
+  replaced.  This promotes the old grep-based test in
+  ``tests/test_engine.py`` to a real AST rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lintkit.findings import Finding
+from repro.lintkit.runner import (
+    FileContext,
+    Rule,
+    dotted_name,
+    register_rule,
+    terminal_name,
+)
+
+__all__ = ["BackendLadderRule", "CanonicalDeterminismRule"]
+
+# ----------------------------------------------------------------------
+# REPRO-CANONICAL-DETERMINISM
+# ----------------------------------------------------------------------
+#: Function names that construct canonical payloads.  Matching by name
+#: keeps the pass single-file while still covering every envelope
+#: builder in engine/ and batch/ (and any fixture snippet in tests).
+PAYLOAD_BUILDERS = frozenset(
+    {
+        "payload",
+        "canonical_json",
+        "canonical_params",
+        "canonical_text",
+        "cache_key",
+        "params",
+        "solve_params",
+        "to_record",
+        "to_json",
+        "to_dict",
+        "query_to_dict",
+    }
+)
+
+#: Dotted call names whose result differs run-to-run.
+NONDETERMINISTIC_DOTTED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "os.getpid",
+        "secrets.token_hex",
+        "secrets.token_bytes",
+        "secrets.token_urlsafe",
+    }
+)
+
+#: Any ``random.*`` call is nondeterministic for payload purposes —
+#: even seeded, the value depends on global call order.
+NONDETERMINISTIC_PREFIXES = ("random.",)
+
+
+class CanonicalDeterminismRule(Rule):
+    rule_id = "REPRO-CANONICAL-DETERMINISM"
+    summary = (
+        "no wall-clock/random reads and no bare set iteration inside "
+        "canonical payload builders (payload, canonical_json, "
+        "to_record, cache_key, ...)"
+    )
+    motivation = (
+        "resume/dedup keys on byte-identical canonical_json; a clock "
+        "read or unsorted set in a payload builder breaks replay "
+        "equality between runs (timings live out-of-band for exactly "
+        "this reason)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in PAYLOAD_BUILDERS
+            ):
+                for finding in self._scan(ctx, node):
+                    yield finding
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Iterator[Finding]:
+        where = f"in payload builder {fn.name}()"
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                label = self._nondeterministic(node)
+                if label is not None:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"nondeterministic {label}() {where}; canonical "
+                        "payloads must be pure functions of the inputs "
+                        "(timings/ids go in the out-of-band record)",
+                    )
+            iterable = _unsorted_set_iter(node)
+            if iterable is not None:
+                yield ctx.finding(
+                    self.rule_id,
+                    iterable,
+                    f"iterating a set {where} has no guaranteed order "
+                    "(hash randomisation); wrap it in sorted()",
+                )
+
+    @staticmethod
+    def _nondeterministic(call: ast.Call) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        if dotted in NONDETERMINISTIC_DOTTED:
+            return dotted
+        for prefix in NONDETERMINISTIC_PREFIXES:
+            if dotted.startswith(prefix):
+                return dotted
+        return None
+
+
+def _unsorted_set_iter(node: ast.AST) -> Optional[ast.AST]:
+    """The offending iterable if *node* loops over a literal/built set."""
+    iterables: List[ast.expr] = []
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        iterables.append(node.iter)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        iterables.extend(gen.iter for gen in node.generators)
+    elif isinstance(node, ast.GeneratorExp):
+        iterables.extend(gen.iter for gen in node.generators)
+    for candidate in iterables:
+        if isinstance(candidate, (ast.Set, ast.SetComp)):
+            return candidate
+        if isinstance(candidate, ast.Call):
+            last = terminal_name(candidate.func)
+            if last in ("set", "frozenset"):
+                return candidate
+    return None
+
+
+# ----------------------------------------------------------------------
+# REPRO-BACKEND-LADDER
+# ----------------------------------------------------------------------
+#: The one module allowed to compare backend names: the registry seam.
+_REGISTRY_SUFFIX = "engine/registry.py"
+
+
+class BackendLadderRule(Rule):
+    rule_id = "REPRO-BACKEND-LADDER"
+    summary = (
+        "no 'backend == \"...\"' string comparisons outside "
+        "engine/registry.py; dispatch goes through "
+        "resolve_backend/get_backend"
+    )
+    motivation = (
+        "the registry seam replaced per-callsite if/elif backend "
+        "ladders; one stray comparison re-forks the dispatch logic and "
+        "skips alias/env resolution"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.display.endswith(_REGISTRY_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare) and self._is_backend_compare(
+                node
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "string comparison against a backend name outside "
+                    "engine/registry.py; route through "
+                    "resolve_backend()/get_backend() so aliases and env "
+                    "overrides keep working",
+                )
+
+    @staticmethod
+    def _is_backend_compare(node: ast.Compare) -> bool:
+        operands = [node.left] + list(node.comparators)
+        names = any(_is_backend_ref(operand) for operand in operands)
+        strings = any(_is_str_operand(operand) for operand in operands)
+        ops_ok = all(
+            isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn))
+            for op in node.ops
+        )
+        return names and strings and ops_ok
+
+
+def _is_backend_ref(node: ast.AST) -> bool:
+    """``backend`` / ``x.backend`` / ``backend_name`` references."""
+    name = terminal_name(node)
+    return name is not None and (
+        name == "backend" or name.endswith("_backend") or name == "backend_name"
+    )
+
+
+def _is_str_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return any(_is_str_operand(element) for element in node.elts)
+    return False
+
+
+register_rule(CanonicalDeterminismRule())
+register_rule(BackendLadderRule())

@@ -1,0 +1,270 @@
+"""The checker framework: rule registry, file walker, lint driver.
+
+The framework is generic so later PRs add rules cheaply: a rule is a
+:class:`Rule` subclass with a ``rule_id``, a one-line ``summary`` and a
+``check(ctx)`` generator over one parsed file
+(:class:`FileContext` — path, source, AST, helpers).  Registration is
+one :func:`register_rule` call; :func:`lint_paths` walks files, parses
+each exactly once, runs every enabled rule, applies the
+``# repro: allow[...]`` waivers (:mod:`repro.lintkit.suppressions`) and
+returns location-sorted findings.
+
+Two framework-level rule ids exist outside the registry and are always
+on (they guard the tool's own integrity, so ``--select``/``--ignore``
+do not touch them):
+
+* ``REPRO-PARSE`` — a file that does not parse cannot be certified;
+* ``REPRO-SUPPRESS`` — a malformed or justification-free waiver.
+
+AST passes are intentionally *syntactic*: no imports are executed and
+no cross-file resolution happens, so the whole tree lints in well under
+a second and the pass is safe to run on broken working states.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lintkit.findings import Finding, sort_findings
+from repro.lintkit.suppressions import SuppressionIndex
+
+__all__ = [
+    "PARSE_RULE_ID",
+    "FileContext",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "terminal_name",
+    "walk_python_files",
+]
+
+#: Framework rule id reported when a file fails to parse.
+PARSE_RULE_ID = "REPRO-PARSE"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain; ``None`` for anything else.
+
+    The shared matcher currency of every rule: ``self.shm_store.export``
+    dots to ``"self.shm_store.export"``; a subscript or call in the
+    chain yields ``None`` (rules only match statically-obvious shapes).
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last segment of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    #: path as reported in findings (posix separators, as given)
+    display: str
+    source: str
+    tree: ast.Module
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at *node*'s location in this file."""
+        return Finding(
+            rule,
+            self.display,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+
+class Rule:
+    """One invariant: an id, a summary, and a per-file ``check`` pass.
+
+    Subclasses set ``rule_id`` (the ``REPRO-*`` name findings and
+    waivers use), ``summary`` (one line for ``--list-rules`` and the
+    docs table) and ``motivation`` (the past bug that earned the rule
+    its place).  ``check`` yields findings; it must not mutate the AST.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    motivation: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.rule_id}>"
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add *rule* to the registry (its id must be new and non-empty)."""
+    if not rule.rule_id:
+        raise ValueError("a rule must declare a non-empty rule_id")
+    if rule.rule_id in _RULES:
+        raise ValueError(f"rule {rule.rule_id!r} is already registered")
+    _RULES[rule.rule_id] = rule
+    return rule
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a rule (tests plug in throwaway rules)."""
+    _RULES.pop(rule_id, None)
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the built-in rule modules (registration is import-time)."""
+    from repro.lintkit import rules_concurrency, rules_determinism  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    _ensure_builtin_rules()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule selection.
+
+    ``select`` (when non-empty) is an allow-list of rule ids; ``ignore``
+    removes ids from whatever is selected.  Unknown ids raise
+    ``ValueError`` — a typoed rule name silently checking nothing is
+    how invariants rot.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+
+    def enabled(self, rules: Sequence[Rule]) -> List[Rule]:
+        known = {rule.rule_id for rule in rules}
+        requested = set(self.select or ()) | set(self.ignore)
+        unknown = sorted(requested - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; known: {sorted(known)}"
+            )
+        return [
+            rule
+            for rule in rules
+            if (self.select is None or rule.rule_id in self.select)
+            and rule.rule_id not in self.ignore
+        ]
+
+
+@dataclass
+class LintReport:
+    """One run's outcome: ordered findings + how many files were read."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def walk_python_files(paths: Iterable[str]) -> List[Path]:
+    """Every ``*.py`` under *paths* (files or directories), sorted.
+
+    Missing paths raise ``FileNotFoundError`` — linting nothing must
+    never read as a clean pass.
+    """
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            seen.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file():
+            seen.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(seen)
+
+
+def lint_source(
+    source: str,
+    display: str,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one in-memory source blob (the unit tests' entry point)."""
+    config = config or LintConfig()
+    enabled = config.enabled(all_rules())
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        findings.append(
+            Finding(
+                PARSE_RULE_ID, display, line, max(col, 0),
+                f"file does not parse: {exc.msg}",
+            )
+        )
+        return findings
+    suppressions = SuppressionIndex.scan(source)
+    findings.extend(suppressions.malformed_findings(display))
+    ctx = FileContext(display=display, source=source, tree=tree)
+    seen: Set[Tuple[str, int, int]] = set()
+    for rule in enabled:
+        for finding in rule.check(ctx):
+            # Nested constructs (a lock block inside a lock block) can
+            # surface one violation through two scans; report each
+            # (rule, location) once.
+            key = (finding.rule, finding.line, finding.col)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not suppressions.allows(finding.rule, finding.line):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint every python file under *paths*; the CLI's engine."""
+    report = LintReport()
+    for path in walk_python_files(paths):
+        display = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        report.findings.extend(lint_source(source, display, config))
+        report.files += 1
+    report.findings = sort_findings(report.findings)
+    return report

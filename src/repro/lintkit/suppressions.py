@@ -1,0 +1,147 @@
+"""``# repro: allow[RULE-ID]`` suppression comments.
+
+A finding is sometimes the *intended* behaviour — a worker that ignores
+``SIGINT`` for its whole lifetime, a lock deliberately held across a
+serialised solve.  Those sites carry an inline waiver::
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # repro: allow[REPRO-SIGNAL-RESTORE] -- shutdown is router-coordinated
+
+    # repro: allow[REPRO-LOCK-HELD] -- one session's batches serialise by design
+    with session.lock:
+        ...
+
+Rules of the waiver:
+
+* The justification after ``--`` is **required**.  A bare
+  ``allow[RULE]`` suppresses nothing and is itself reported as a
+  ``REPRO-SUPPRESS`` finding — an unexplained waiver is exactly the
+  reviewer-memory failure this tool exists to replace.
+* A waiver on a code line covers findings anchored to that line; a
+  waiver on a comment-only line covers the next code line (for sites
+  where the justification does not fit in the line budget).
+* Several ids may share one waiver: ``allow[RULE-A, RULE-B] -- why``.
+
+Comments are discovered with :mod:`tokenize` (never by substring
+scanning), so a string literal that merely *contains* the marker text
+can not waive anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lintkit.findings import Finding
+
+__all__ = ["SUPPRESS_RULE_ID", "SuppressionIndex"]
+
+#: Framework rule id reported for malformed waivers.
+SUPPRESS_RULE_ID = "REPRO-SUPPRESS"
+
+#: ``repro: allow[ID, ...]`` with an optional ``-- justification`` tail.
+#: Anchored at the comment start: a waiver must be the whole comment,
+#: so prose that merely mentions the marker mid-comment is inert.
+_ALLOW_RE = re.compile(
+    r"^#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+#: Loose detector for things that *look like* a waiver but do not parse
+#: (e.g. a bracket-less ``allow REPRO-FOO``) — reported, not ignored.
+_ALLOW_HINT_RE = re.compile(r"^#\s*repro:\s*allow\b")
+
+
+class SuppressionIndex:
+    """Per-file map of which rule ids are waived on which lines."""
+
+    def __init__(
+        self,
+        allowed: Dict[int, Set[str]],
+        malformed: Sequence[Tuple[int, int, str]],
+    ) -> None:
+        self._allowed = allowed
+        #: ``(line, col, message)`` of every malformed waiver
+        self.malformed = list(malformed)
+
+    @classmethod
+    def scan(cls, source: str) -> "SuppressionIndex":
+        """Build the index from one file's source text."""
+        allowed: Dict[int, Set[str]] = {}
+        malformed: List[Tuple[int, int, str]] = []
+        comments: List[Tuple[int, int, str, bool]] = []
+        code_lines: Set[int] = set()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # The AST pass reports the parse failure; nothing to waive.
+            return cls({}, [])
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                # A comment opening at column 0... is still "own line"
+                # only if no code token shares the line; resolved below.
+                comments.append(
+                    (token.start[0], token.start[1], token.string, False)
+                )
+            elif token.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+                tokenize.ENCODING,
+            ):
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+        for line, col, text, _ in comments:
+            if not _ALLOW_HINT_RE.search(text):
+                continue
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                malformed.append(
+                    (line, col, "unparseable waiver; the form is "
+                     "'# repro: allow[RULE-ID] -- justification'")
+                )
+                continue
+            rules = {
+                rule.strip()
+                for rule in match.group("rules").split(",")
+                if rule.strip()
+            }
+            why = match.group("why")
+            if not rules:
+                malformed.append(
+                    (line, col, "waiver names no rule id")
+                )
+                continue
+            if not why:
+                malformed.append(
+                    (line, col,
+                     f"waiver for {', '.join(sorted(rules))} has no "
+                     "justification; append '-- <one-line reason>'")
+                )
+                continue
+            target = line if line in code_lines else _next_code_line(
+                line, code_lines
+            )
+            if target is not None:
+                allowed.setdefault(target, set()).update(rules)
+        return cls(allowed, malformed)
+
+    def allows(self, rule: str, line: int) -> bool:
+        """Whether a justified waiver covers *rule* at *line*."""
+        return rule in self._allowed.get(line, set())
+
+    def malformed_findings(self, path: str) -> List[Finding]:
+        """Every malformed waiver as a :data:`SUPPRESS_RULE_ID` finding."""
+        return [
+            Finding(SUPPRESS_RULE_ID, path, line, col, message)
+            for line, col, message in self.malformed
+        ]
+
+
+def _next_code_line(line: int, code_lines: Set[int]) -> Optional[int]:
+    later = [candidate for candidate in code_lines if candidate > line]
+    return min(later) if later else None

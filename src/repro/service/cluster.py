@@ -171,6 +171,7 @@ def _worker_main(
     ignored — a terminal Ctrl-C reaches the whole process group, and
     shutdown must stay coordinated by the router's ``stop`` message.
     """
+    # repro: allow[REPRO-SIGNAL-RESTORE] -- process-lifetime install; shutdown is router-coordinated
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     from repro.service.app import ServiceApp
 
@@ -312,6 +313,7 @@ class ClusterRouter:
                     f"worker {handle.worker_id} failed to start"
                 )
             await asyncio.sleep(0.05)
+        # repro: allow[REPRO-ASYNC-BLOCK] -- poll() loop above guarantees a buffered message; recv() returns immediately
         kind, payload = parent.recv()
         if kind != "ready":  # pragma: no cover - protocol guard
             raise RuntimeError(

@@ -1,0 +1,19 @@
+"""REPRO-ASYNC-BLOCK must fire: blocking calls on the event loop."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def handler(lock, sock, gd):
+    time.sleep(0.5)                      # blocking sleep
+    data = open("graph.txt").read()      # blocking file I/O
+    subprocess.run(["du", "-sh"])        # blocking subprocess
+    lock.acquire()                       # sync lock primitive
+    sock.recv(4096)                      # sync socket read
+    done.wait()                          # threading.Event semantics
+    answer = dcs_greedy(gd)              # whole solve on the loop
+    with lock:                           # sync lock held on the loop
+        pass
+    await asyncio.sleep(0)
+    return data, answer

@@ -1,0 +1,30 @@
+"""REPRO-ASYNC-BLOCK must stay quiet: awaited/offloaded equivalents."""
+
+import asyncio
+import time
+
+
+async def handler(pool, alock, handle, gd):
+    await asyncio.sleep(0.5)
+    async with alock:
+        pass
+    await alock.acquire()
+    # .wait() inside an awaited expression is the asyncio spelling,
+    # even when the await is a wrapper call around it.
+    await asyncio.wait_for(handle.ready.wait(), 5.0)
+    loop = asyncio.get_running_loop()
+    answer = await loop.run_in_executor(pool, dcs_greedy, gd)
+
+    def offloaded():
+        # A nested sync helper is a separate scope: it runs in the
+        # pool, so its blocking calls are fine.
+        time.sleep(0.1)
+        return open("graph.txt").read()
+
+    data = await loop.run_in_executor(pool, offloaded)
+    return data, answer
+
+
+def sync_path(gd):
+    time.sleep(0.01)
+    return dcs_greedy(gd)

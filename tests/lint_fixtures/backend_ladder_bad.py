@@ -1,0 +1,17 @@
+"""REPRO-BACKEND-LADDER must fire: string dispatch outside the seam."""
+
+
+def solve(gd, backend):
+    if backend == "sparse":              # re-forked dispatch ladder
+        return sparse_solve(gd)
+    if backend in ("python", "pure"):    # membership test, same smell
+        return python_solve(gd)
+    if "native" != backend:              # reversed operands too
+        raise ValueError(backend)
+    return native_solve(gd)
+
+
+def route(request):
+    if request.backend == "sparse":      # attribute reference form
+        return "fast"
+    return "slow"

@@ -1,0 +1,15 @@
+"""REPRO-BACKEND-LADDER must stay quiet: dispatch through the registry."""
+
+from repro.engine import resolve_backend
+
+
+def solve(gd, backend):
+    impl = resolve_backend(backend, fallback="python")
+    return impl.dcs_greedy(gd)
+
+
+def describe(kind, mode):
+    # Ordinary string comparisons are not backend ladders.
+    if kind == "dcsad" and mode != "stream":
+        return "greedy"
+    return "other"

@@ -1,0 +1,21 @@
+"""REPRO-CANONICAL-DETERMINISM must fire: impure payload builders."""
+
+import random
+import time
+import uuid
+
+
+class Result:
+    def payload(self):
+        return {
+            "stamp": time.time(),            # wall clock in the payload
+            "token": uuid.uuid4().hex,       # fresh id every run
+            "jitter": random.random(),       # RNG in the payload
+            "nodes": [v for v in {"b", "a"}],  # unordered set iteration
+        }
+
+    def to_record(self, members):
+        out = []
+        for v in set(members):               # hash-order iteration
+            out.append(v)
+        return {"members": out}

@@ -1,0 +1,20 @@
+"""REPRO-CANONICAL-DETERMINISM must stay quiet: pure, sorted payloads."""
+
+import time
+
+
+class Result:
+    def payload(self):
+        return {
+            "nodes": sorted({"b", "a"}),  # sorted() pins the order
+            "score": self.score,
+        }
+
+    def to_record(self, members):
+        return {"members": [v for v in sorted(set(members))]}
+
+    def finish(self):
+        # Clock reads outside payload builders are fine — timings are
+        # out-of-band by design.
+        self.elapsed = time.time() - self.started
+        return self.payload()

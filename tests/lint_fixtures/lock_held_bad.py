@@ -1,0 +1,25 @@
+"""REPRO-LOCK-HELD must fire: expensive work under a lock."""
+
+
+class Registry:
+    def resolve_entry(self, name, gd):
+        with self._lock:
+            prepared = PreparedGraph(gd)       # cold build under lock
+            self._warm[name] = prepared
+        return prepared
+
+    def upload(self, name, text):
+        with self._lock:
+            graph = read_edge_list(text)       # dataset parse under lock
+            segment = self.shm_store.export(name, graph)  # shm export too
+        return segment
+
+    async def alerts(self, session):
+        with session.lock:
+            await asyncio.sleep(0.02)          # suspended holding a lock
+        return session.cursor
+
+    def drain(self):
+        with self._lock:
+            for record in self._records:
+                yield record                   # generator parked with lock

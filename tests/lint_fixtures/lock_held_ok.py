@@ -1,0 +1,32 @@
+"""REPRO-LOCK-HELD must stay quiet: build outside, admit under lock."""
+
+
+class Registry:
+    def resolve_entry(self, name, gd):
+        with self._lock:
+            hit = self._warm.get(name)
+        if hit is not None:
+            return hit
+        prepared = PreparedGraph(gd)  # cold build outside the lock
+        with self._lock:
+            self._warm[name] = prepared
+        return prepared
+
+    def upload(self, name, text):
+        graph = read_edge_list(text)
+        segment = self.shm_store.export(name, graph)
+        with self._lock:
+            self._segments[name] = segment
+        return segment
+
+    def alerts_snapshot(self, session):
+        # Pool-thread code: snapshot under the lock, return, and let
+        # the async caller await on its own time.
+        with session.lock:
+            return session.cursor
+
+    def drain(self):
+        with self._lock:
+            snapshot = list(self._records)
+        for record in snapshot:
+            yield record

@@ -1,0 +1,14 @@
+"""REPRO-SHM-LIFECYCLE must fire: mappings that can never be closed."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach_and_leak(name):
+    shm = SharedMemory(name=name)
+    header = bytes(shm.buf[:16])  # an exception path never closes shm
+    return header
+
+
+def discarded_handle(name, size):
+    SharedMemory(name=name, create=True, size=size)  # handle dropped
+    return name

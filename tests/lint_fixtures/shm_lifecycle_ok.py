@@ -1,0 +1,23 @@
+"""REPRO-SHM-LIFECYCLE must stay quiet: every mapping reaches an owner."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach_and_close(name):
+    shm = SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:16])
+    finally:
+        shm.close()
+
+
+def export(name, size):
+    shm = SharedMemory(name=name, create=True, size=size)
+    # Ownership transfer: the segment object closes/unlinks it later.
+    return SharedGraphSegment(name, shm, created=True)
+
+
+class Store:
+    def open_segment(self, name):
+        shm = SharedMemory(name=name)
+        self._shm = shm  # the store owns it now; close() lives there

@@ -1,0 +1,17 @@
+"""REPRO-SIGNAL-RESTORE must fire: swaps that leak into the host."""
+
+import signal
+
+
+def discarded_swap(handler):
+    signal.signal(signal.SIGALRM, handler)  # previous handler discarded
+    return compute()
+
+
+def captured_but_never_restored(handler, timeout):
+    previous = signal.signal(signal.SIGALRM, handler)
+    timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+    result = compute()  # an exception here leaks handler AND timer
+    signal.signal(signal.SIGALRM, previous)
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    return result, timer

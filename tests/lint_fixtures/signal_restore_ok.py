@@ -1,0 +1,19 @@
+"""REPRO-SIGNAL-RESTORE must stay quiet: run_guarded-style hygiene."""
+
+import signal
+
+
+def guarded(handler, timeout):
+    previous = signal.signal(signal.SIGALRM, handler)
+    try:
+        previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+    except ValueError:
+        signal.signal(signal.SIGALRM, previous)  # undo on the error path
+        raise
+    try:
+        return compute()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+        if previous_timer[0]:
+            signal.setitimer(signal.ITIMER_REAL, *previous_timer)

@@ -1,0 +1,8 @@
+"""A justification-free waiver: suppresses nothing, and is reported."""
+
+import signal
+
+
+def worker_main():
+    # repro: allow[REPRO-SIGNAL-RESTORE]
+    signal.signal(signal.SIGINT, signal.SIG_IGN)

@@ -1,0 +1,22 @@
+"""Justified waivers: every violation below is explicitly suppressed."""
+
+import signal
+import time
+
+
+def worker_main():
+    # repro: allow[REPRO-SIGNAL-RESTORE] -- process-lifetime install; shutdown is coordinated elsewhere
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+async def poller(conn):
+    while not conn.poll():
+        pass
+    kind = conn.recv()  # repro: allow[REPRO-ASYNC-BLOCK] -- poll() above guarantees a buffered message
+    return kind
+
+
+def rebuild(session, gd):
+    with session.lock:
+        # repro: allow[REPRO-LOCK-HELD] -- this session's rebuild is its serialisation point by design
+        return PreparedGraph(gd)

@@ -13,15 +13,15 @@ Covers the three tentpole pieces and their contracts:
   layout, byte-identity across serial / pooled / cached batch modes,
   and the CLI ``--json`` face of the same envelope.
 
-Plus the refactor's structural guarantee: no ``if backend ==`` string
-dispatch survives under ``src/repro/core/``.
+The refactor's structural guarantee — no ``if backend ==`` string
+dispatch outside the registry seam — is enforced tree-wide by the
+``REPRO-BACKEND-LADDER`` rule of ``repro lint`` (see
+``tests/test_lintkit.py`` for the rule's own regression tests).
 """
 
 from __future__ import annotations
 
 import json
-import re
-from pathlib import Path
 
 import pytest
 
@@ -52,9 +52,6 @@ from repro.graph.sparse import scipy_available
 needs_scipy = pytest.mark.skipif(
     not scipy_available(), reason="sparse backend requires SciPy"
 )
-
-SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
-
 
 @pytest.fixture
 def pair():
@@ -314,34 +311,6 @@ class TestCustomBackendPlugsInEverywhere:
                 )
         finally:
             unregister_backend("test-nocsr")
-
-
-# ----------------------------------------------------------------------
-# no string dispatch left in core
-# ----------------------------------------------------------------------
-class TestNoStringDispatch:
-    DISPATCH = re.compile(r"if\s+backend\s*==")
-
-    def test_core_is_free_of_backend_string_dispatch(self):
-        offenders = [
-            path.name
-            for path in sorted((SRC_ROOT / "core").glob("*.py"))
-            if self.DISPATCH.search(path.read_text(encoding="utf-8"))
-        ]
-        assert offenders == []
-
-    def test_whole_library_is_free_of_backend_string_dispatch(self):
-        # Stronger than the acceptance bar: peeling, affinity, stream
-        # and batch moved onto the registry too.  The engine package is
-        # excluded only because its *docstrings* describe the pattern
-        # this refactor deleted.
-        offenders = [
-            str(path.relative_to(SRC_ROOT))
-            for path in sorted(SRC_ROOT.rglob("*.py"))
-            if "engine" not in path.parts
-            and self.DISPATCH.search(path.read_text(encoding="utf-8"))
-        ]
-        assert offenders == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,346 @@
+"""Tests for the invariant checker (repro/lintkit/).
+
+Three layers of coverage:
+
+* fixture-driven rule tests — for every rule, a ``*_bad.py`` fixture
+  it must fire on (with the expected number of findings) and a
+  ``*_ok.py`` fixture it must stay quiet on;
+* framework behaviour — suppression comments (justified, bare,
+  comment-line placement, marker text inside strings), select/ignore
+  config, unknown rule ids, parse failures, JSON schema, exit codes,
+  the ``repro lint`` CLI face;
+* the self-check — the full pass over ``src/repro`` is clean, which is
+  the merge gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import (
+    SCHEMA_VERSION,
+    LintConfig,
+    all_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+)
+from repro.lintkit.cli import main as lint_main
+from repro.lintkit.runner import Rule, register_rule, unregister_rule
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: rule id -> (fixture stem, findings expected on the bad fixture)
+RULE_FIXTURES = {
+    "REPRO-ASYNC-BLOCK": ("async_block", 8),
+    "REPRO-LOCK-HELD": ("lock_held", 5),
+    "REPRO-SIGNAL-RESTORE": ("signal_restore", 3),
+    "REPRO-SHM-LIFECYCLE": ("shm_lifecycle", 2),
+    "REPRO-CANONICAL-DETERMINISM": ("canonical", 5),
+    "REPRO-BACKEND-LADDER": ("backend_ladder", 4),
+}
+
+
+def run_rule(rule_id: str, path: Path):
+    config = LintConfig(select=frozenset({rule_id}))
+    return lint_source(
+        path.read_text(encoding="utf-8"), path.as_posix(), config
+    )
+
+
+# ----------------------------------------------------------------------
+# fixture-driven rule tests
+# ----------------------------------------------------------------------
+class TestRuleFixtures:
+    def test_every_rule_has_a_fixture_pair(self):
+        assert sorted(RULE_FIXTURES) == sorted(
+            rule.rule_id for rule in all_rules()
+        )
+        for stem, _ in RULE_FIXTURES.values():
+            assert (FIXTURES / f"{stem}_bad.py").is_file()
+            assert (FIXTURES / f"{stem}_ok.py").is_file()
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_rule_fires_on_bad_fixture(self, rule_id):
+        stem, expected = RULE_FIXTURES[rule_id]
+        findings = run_rule(rule_id, FIXTURES / f"{stem}_bad.py")
+        assert [f.rule for f in findings] == [rule_id] * expected
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_rule_quiet_on_ok_fixture(self, rule_id):
+        stem, _ = RULE_FIXTURES[rule_id]
+        findings = run_rule(rule_id, FIXTURES / f"{stem}_ok.py")
+        assert findings == []
+
+    @pytest.mark.parametrize(
+        "stem", sorted(stem for stem, _ in RULE_FIXTURES.values())
+    )
+    def test_ok_fixtures_clean_under_all_rules(self, stem):
+        path = FIXTURES / f"{stem}_ok.py"
+        findings = lint_source(
+            path.read_text(encoding="utf-8"), path.as_posix()
+        )
+        assert findings == []
+
+    def test_findings_carry_locations_and_messages(self):
+        findings = run_rule(
+            "REPRO-BACKEND-LADDER", FIXTURES / "backend_ladder_bad.py"
+        )
+        first = findings[0]
+        assert first.path.endswith("backend_ladder_bad.py")
+        assert first.line > 0 and first.col >= 0
+        assert "resolve_backend" in first.message
+        assert first.location in first.render()
+
+    def test_backend_ladder_exempts_the_registry_seam(self):
+        source = 'flag = backend == "sparse"\n'
+        assert lint_source(source, "src/repro/engine/registry.py") == []
+        assert [
+            f.rule
+            for f in lint_source(source, "src/repro/stream/engine.py")
+        ] == ["REPRO-BACKEND-LADDER"]
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_justified_waivers_silence_findings(self):
+        path = FIXTURES / "suppressed_ok.py"
+        findings = lint_source(
+            path.read_text(encoding="utf-8"), path.as_posix()
+        )
+        assert findings == []
+
+    def test_bare_waiver_suppresses_nothing_and_is_reported(self):
+        path = FIXTURES / "suppressed_bare.py"
+        findings = lint_source(
+            path.read_text(encoding="utf-8"), path.as_posix()
+        )
+        assert sorted(f.rule for f in findings) == [
+            "REPRO-SIGNAL-RESTORE",
+            "REPRO-SUPPRESS",
+        ]
+
+    def test_unparseable_waiver_is_reported(self):
+        source = (
+            "import signal\n"
+            "# repro: allow REPRO-SIGNAL-RESTORE -- forgot the brackets\n"
+            "signal.signal(signal.SIGINT, handler)\n"
+        )
+        rules = sorted(f.rule for f in lint_source(source, "x.py"))
+        assert rules == ["REPRO-SIGNAL-RESTORE", "REPRO-SUPPRESS"]
+
+    def test_marker_inside_a_string_is_inert(self):
+        source = (
+            "import signal\n"
+            "DOC = '# repro: allow[REPRO-SIGNAL-RESTORE] -- nope'\n"
+            "signal.signal(signal.SIGINT, handler)\n"
+        )
+        assert [f.rule for f in lint_source(source, "x.py")] == [
+            "REPRO-SIGNAL-RESTORE"
+        ]
+
+    def test_waiver_only_covers_its_own_line(self):
+        source = (
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)  "
+            "# repro: allow[REPRO-ASYNC-BLOCK] -- testing\n"
+            "    time.sleep(2)\n"
+        )
+        findings = lint_source(source, "x.py")
+        assert [(f.rule, f.line) for f in findings] == [
+            ("REPRO-ASYNC-BLOCK", 4)
+        ]
+
+    def test_waiver_only_covers_the_named_rule(self):
+        source = (
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)  # repro: allow[REPRO-LOCK-HELD] -- wrong id\n"
+        )
+        assert [f.rule for f in lint_source(source, "x.py")] == [
+            "REPRO-ASYNC-BLOCK"
+        ]
+
+
+# ----------------------------------------------------------------------
+# framework behaviour
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_parse_failure_is_a_finding(self):
+        findings = lint_source("def broken(:\n", "x.py")
+        assert [f.rule for f in findings] == ["REPRO-PARSE"]
+        assert findings[0].line == 1
+
+    def test_select_and_ignore(self):
+        path = FIXTURES / "async_block_bad.py"
+        source = path.read_text(encoding="utf-8")
+        everything = lint_source(source, path.as_posix())
+        only = lint_source(
+            source,
+            path.as_posix(),
+            LintConfig(select=frozenset({"REPRO-ASYNC-BLOCK"})),
+        )
+        none = lint_source(
+            source,
+            path.as_posix(),
+            LintConfig(ignore=frozenset({"REPRO-ASYNC-BLOCK"})),
+        )
+        assert {f.rule for f in only} == {"REPRO-ASYNC-BLOCK"}
+        assert "REPRO-ASYNC-BLOCK" not in {f.rule for f in none}
+        assert len(everything) >= len(only)
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="REPRO-TYPO"):
+            lint_source(
+                "x = 1\n", "x.py",
+                LintConfig(select=frozenset({"REPRO-TYPO"})),
+            )
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["does/not/exist"])
+
+    def test_duplicate_rule_id_rejected(self):
+        class Dupe(Rule):
+            rule_id = "REPRO-ASYNC-BLOCK"
+
+        all_rules()  # make sure builtins are registered
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(Dupe())
+
+    def test_custom_rule_registration_round_trip(self):
+        class Custom(Rule):
+            rule_id = "TEST-CUSTOM"
+            summary = "throwaway"
+
+            def check(self, ctx):
+                yield ctx.finding(self.rule_id, ctx.tree.body[0], "hit")
+
+        register_rule(Custom())
+        try:
+            findings = lint_source(
+                "x = 1\n", "x.py",
+                LintConfig(select=frozenset({"TEST-CUSTOM"})),
+            )
+            assert [f.rule for f in findings] == ["TEST-CUSTOM"]
+        finally:
+            unregister_rule("TEST-CUSTOM")
+
+    def test_rules_document_their_motivation(self):
+        for rule in all_rules():
+            assert rule.rule_id.startswith("REPRO-")
+            assert rule.summary
+            assert rule.motivation
+
+
+# ----------------------------------------------------------------------
+# JSON report schema
+# ----------------------------------------------------------------------
+class TestJsonReport:
+    def test_schema_on_findings(self):
+        path = FIXTURES / "backend_ladder_bad.py"
+        findings = run_rule("REPRO-BACKEND-LADDER", path)
+        report = json.loads(render_json(findings, files=1))
+        assert report["version"] == SCHEMA_VERSION
+        assert report["files"] == 1
+        assert report["clean"] is False
+        assert report["counts"] == {
+            "REPRO-BACKEND-LADDER": len(findings)
+        }
+        assert len(report["findings"]) == len(findings)
+        record = report["findings"][0]
+        assert sorted(record) == ["col", "line", "message", "path", "rule"]
+
+    def test_schema_on_clean(self):
+        report = json.loads(render_json([], files=3))
+        assert report == {
+            "version": SCHEMA_VERSION,
+            "files": 3,
+            "clean": True,
+            "counts": {},
+            "findings": [],
+        }
+
+    def test_findings_sorted_by_location(self):
+        path = FIXTURES / "async_block_bad.py"
+        findings = run_rule("REPRO-ASYNC-BLOCK", path)
+        keys = [(f.path, f.line, f.col) for f in findings]
+        assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# CLI faces: python -m repro.lintkit and repro lint
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_one_on_findings(self, capsys):
+        bad = (FIXTURES / "canonical_bad.py").as_posix()
+        assert lint_main([bad]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO-CANONICAL-DETERMINISM" in out
+        assert "finding(s)" in out
+
+    def test_exit_zero_on_clean(self, capsys):
+        ok = (FIXTURES / "canonical_ok.py").as_posix()
+        assert lint_main([ok]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_two_on_bad_usage(self, capsys):
+        assert lint_main(["does/not/exist"]) == 2
+        assert lint_main(["--select", "REPRO-TYPO", "src/repro"]) == 2
+
+    def test_json_format_and_output_file(self, tmp_path, capsys):
+        bad = (FIXTURES / "shm_lifecycle_bad.py").as_posix()
+        out_file = tmp_path / "findings.json"
+        code = lint_main(
+            [bad, "--format", "json", "--output", str(out_file)]
+        )
+        assert code == 1
+        stdout_report = json.loads(capsys.readouterr().out)
+        file_report = json.loads(out_file.read_text(encoding="utf-8"))
+        assert stdout_report == file_report
+        assert file_report["counts"] == {"REPRO-SHM-LIFECYCLE": 2}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+    def test_repro_cli_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        bad = (FIXTURES / "backend_ladder_bad.py").as_posix()
+        assert repro_main(["lint", bad]) == 1
+        assert "REPRO-BACKEND-LADDER" in capsys.readouterr().out
+        ok = (FIXTURES / "backend_ladder_ok.py").as_posix()
+        assert repro_main(["lint", ok]) == 0
+
+
+# ----------------------------------------------------------------------
+# the merge gate: src/repro itself is clean
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_src_repro_is_clean(self):
+        report = lint_paths([str(SRC_REPRO)])
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.clean, f"repro lint found:\n{rendered}"
+        # Sanity: the walk actually visited the tree (all layers).
+        assert report.files > 50
+
+    def test_known_suppressions_are_justified(self):
+        # The waivers currently in the tree; every entry carries a
+        # reason (a bare waiver would surface as REPRO-SUPPRESS above).
+        cluster = SRC_REPRO / "service" / "cluster.py"
+        text = cluster.read_text(encoding="utf-8")
+        for line in text.splitlines():
+            if "repro: allow[" in line and not line.lstrip().startswith(
+                '"'
+            ):
+                assert " -- " in line
